@@ -1,0 +1,32 @@
+"""Printing helpers shared by the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+__all__ = ["print_header", "print_rows"]
+
+
+def print_header(title: str) -> None:
+    """Print a section header for a reproduced artifact."""
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)
+
+
+def print_rows(rows: Iterable[Mapping[str, object]]) -> None:
+    """Print dict records as an aligned table."""
+    rows = list(rows)
+    if not rows:
+        print("(no rows)")
+        return
+    keys = list(rows[0].keys())
+    formatted = [
+        {k: (f"{v:.4g}" if isinstance(v, float) else str(v)) for k, v in row.items()} for row in rows
+    ]
+    widths = {k: max(len(str(k)), *(len(r[k]) for r in formatted)) for k in keys}
+    print("  ".join(str(k).ljust(widths[k]) for k in keys))
+    print("-" * (sum(widths.values()) + 2 * (len(keys) - 1)))
+    for row in formatted:
+        print("  ".join(row[k].ljust(widths[k]) for k in keys))

@@ -1,0 +1,24 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures (or one of the
+quantitative claims its argument rests on), times the regeneration with
+pytest-benchmark, prints the reproduced series/rows, and asserts the *shape*
+of the paper's finding (signs of correlations, who wins, rough factors) —
+never the authors' absolute numbers, since the substrate here is a simulator.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.figures import SuperCloudScenario
+
+
+@pytest.fixture(scope="session")
+def scenario() -> SuperCloudScenario:
+    """The shared 2020-2021 SuperCloud-like scenario used by the figure benchmarks."""
+    return SuperCloudScenario.build(seed=0, start_year=2020, n_months=24)

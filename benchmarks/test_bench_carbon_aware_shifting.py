@@ -1,0 +1,110 @@
+"""CLAIM-SHIFT — carbon/price-aware temporal shifting of load and purchases (Section II.A).
+
+Paper proposal: exploit the mismatch between the facility's consumption and
+the grid's green/cheap windows by (1) shifting utilization into those windows
+or (2) storing energy bought in them.  The benchmark evaluates both:
+
+* hourly *load shifting* of a deferrable fraction of the facility profile
+  (ablation over the deferrable fraction — the design choice DESIGN.md calls
+  out), and
+* *purchasing strategies* backed by a battery (green-window, price-threshold,
+  combined) against buy-as-you-consume.
+"""
+
+import numpy as np
+
+from benchmarks._report import print_header, print_rows
+from repro.core.policies import LoadShiftingPolicy, evaluate_load_shifting
+from repro.grid.purchasing import (
+    BaselinePurchasing,
+    GreenWindowPurchasing,
+    PriceThresholdPurchasing,
+    StorageBackedPurchasing,
+    evaluate_purchasing_strategy,
+)
+from repro.grid.storage import BatteryStorage, StorageConfig
+
+
+def _shifting_rows(scenario):
+    load_kwh = scenario.load_trace.facility_power_w / 1e3
+    rows = []
+    for fraction in (0.1, 0.3, 0.5):
+        for signal in ("carbon", "price"):
+            outcome = evaluate_load_shifting(
+                facility_load_kwh=load_kwh,
+                grid=scenario.grid,
+                policy=LoadShiftingPolicy(deferrable_fraction=fraction, window_h=24, signal=signal),
+            )
+            rows.append(
+                {
+                    "deferrable_fraction": fraction,
+                    "signal": signal,
+                    "emissions_savings_pct": 100 * outcome.emissions_savings_fraction,
+                    "cost_savings_pct": 100 * outcome.cost_savings_fraction,
+                }
+            )
+    return rows
+
+
+def test_bench_load_shifting(benchmark, scenario):
+    rows = benchmark.pedantic(lambda: _shifting_rows(scenario), rounds=1, iterations=1, warmup_rounds=0)
+
+    print_header("Section II.A — carbon/price-aware load shifting (24 h windows)")
+    print_rows(rows)
+    print("paper claim: shifting consumption into green/cheap hours reduces the environmental")
+    print("opportunity cost and the bill; more deferrable load captures more of it.")
+
+    carbon_rows = [r for r in rows if r["signal"] == "carbon"]
+    price_rows = [r for r in rows if r["signal"] == "price"]
+    assert all(r["emissions_savings_pct"] > 0 for r in carbon_rows)
+    assert all(r["cost_savings_pct"] > 0 for r in price_rows)
+    # More flexibility -> more savings (monotone in the deferrable fraction).
+    assert carbon_rows[-1]["emissions_savings_pct"] >= carbon_rows[0]["emissions_savings_pct"]
+    assert price_rows[-1]["cost_savings_pct"] >= price_rows[0]["cost_savings_pct"]
+
+
+def test_bench_purchasing_strategies(benchmark, scenario):
+    grid = scenario.grid
+    demand_kwh = scenario.load_trace.facility_power_w / 1e3
+
+    def evaluate_all():
+        series = dict(
+            hours=grid.hours,
+            demand_kwh=demand_kwh,
+            prices_per_mwh=grid.price_per_mwh,
+            renewable_share=grid.renewable_share,
+            carbon_intensity_g_per_kwh=grid.carbon_intensity_g_per_kwh,
+        )
+        storage = lambda: BatteryStorage(StorageConfig(capacity_kwh=4000.0, max_charge_kw=1000.0, max_discharge_kw=1000.0))
+        strategies = (
+            BaselinePurchasing(),
+            GreenWindowPurchasing(storage()),
+            PriceThresholdPurchasing(storage()),
+            StorageBackedPurchasing(storage()),
+        )
+        return [evaluate_purchasing_strategy(s, **series) for s in strategies]
+
+    outcomes = benchmark.pedantic(evaluate_all, rounds=1, iterations=1, warmup_rounds=0)
+
+    print_header("Section II.A — storage-backed energy-purchasing strategies (2020-2021)")
+    print_rows(
+        [
+            {
+                "strategy": o.strategy_name,
+                "avg_price_paid_per_mwh": o.average_price_paid_per_mwh,
+                "emissions_g_per_kwh_demand": o.emissions_per_kwh_demand,
+                "green_share_of_purchases_pct": 100 * o.weighted_renewable_share,
+                "storage_losses_mwh": o.storage_losses_kwh / 1e3,
+            }
+            for o in outcomes
+        ]
+    )
+    print("note: with an ISO-NE-like (gas-marginal) mix, price arbitrage pays clearly while")
+    print("carbon arbitrage through a battery is nearly offset by round-trip losses — the")
+    print("load-shifting table above is the stronger carbon lever, matching the paper's")
+    print("'no single change on one level suffices' point.")
+
+    baseline, green, price, combined = outcomes
+    assert price.average_price_paid_per_mwh < baseline.average_price_paid_per_mwh
+    assert green.weighted_renewable_share > baseline.weighted_renewable_share
+    assert combined.storage_losses_kwh <= green.storage_losses_kwh

@@ -1,0 +1,45 @@
+"""STRESS — Dodd-Frank-style weatherized stress tests (Section II.B).
+
+Paper proposal: run the facility through adverse-but-plausible climate/demand/
+grid scenarios every year to find the weak points before reality does.  The
+benchmark runs the standard scenario battery on a simulated year and reports
+the degradation of energy, cooling, cost, emissions and PUE relative to the
+baseline scenario, checking that severity orders the damage.
+"""
+
+from benchmarks._report import print_header, print_rows
+from repro.climate.stress_scenarios import STANDARD_STRESS_SCENARIOS
+from repro.config import FacilityConfig
+from repro.core.stress import StressTestHarness
+from repro.workloads.supercloud import SuperCloudTraceConfig
+
+
+def test_bench_climate_stress_battery(benchmark):
+    harness = StressTestHarness(
+        n_months=12,
+        seed=0,
+        trace_config=SuperCloudTraceConfig(facility=FacilityConfig(n_nodes=128, gpus_per_node=2)),
+    )
+    results = benchmark.pedantic(
+        lambda: harness.run_battery(STANDARD_STRESS_SCENARIOS), rounds=1, iterations=1, warmup_rounds=0
+    )
+
+    print_header("Weatherized stress-test battery (one simulated year)")
+    print_rows([dict(r.summary()) for r in results.values()])
+    print_header("Degradation relative to the baseline scenario")
+    print_rows(StressTestHarness.degradation_table(results))
+
+    baseline = results["baseline"]
+    severe = results["severely-adverse"]
+    assert severe.total_energy_mwh > baseline.total_energy_mwh
+    assert severe.cooling_energy_mwh > baseline.cooling_energy_mwh
+    assert severe.mean_pue > baseline.mean_pue
+    assert severe.total_cost_kusd > baseline.total_cost_kusd
+    # Damage is ordered by scenario severity (energy-wise).
+    by_severity = sorted(results.values(), key=lambda r: r.severity)
+    assert by_severity[-1].total_energy_mwh >= by_severity[0].total_energy_mwh
+    # The winter-gas-crisis scenario is a cost event more than an energy event.
+    winter = results["winter-gas-crisis"]
+    cost_increase = winter.total_cost_kusd / baseline.total_cost_kusd - 1.0
+    energy_increase = winter.total_energy_mwh / baseline.total_energy_mwh - 1.0
+    assert cost_increase > energy_increase

@@ -1,0 +1,54 @@
+"""CLAIM-COOLING — optimized cooling control (Section IV.C / DeepMind [29]).
+
+Paper claim: ML-optimized datacenter cooling cut Google's cooling energy by
+~40% and PUE overhead by ~15% relative to the incumbent controller.  The
+benchmark compares the conservatively tuned fixed-set-point plant against the
+weather-following optimized controller over a simulated year of SuperCloud-like
+IT load and Boston-like weather.
+"""
+
+import numpy as np
+
+from benchmarks._report import print_header, print_rows
+from repro.climate.weather import WeatherModel
+from repro.cluster.cooling import FixedOverheadCooling, OptimizedCoolingController
+from repro.timeutils import SimulationCalendar
+from repro.workloads.demand import DeadlineDemandModel
+from repro.workloads.supercloud import SuperCloudTraceGenerator
+
+
+def _annual_comparison():
+    calendar = SimulationCalendar(2020, 12)
+    weather = WeatherModel(seed=0).hourly_temperature_c(calendar)
+    generator = SuperCloudTraceGenerator(demand_model=DeadlineDemandModel(seed=0), seed=0)
+    occupancy = generator.demand_model.hourly_occupancy(calendar)
+    it_power_w = generator.it_power_from_occupancy(occupancy)
+
+    fixed = FixedOverheadCooling()
+    optimized = OptimizedCoolingController()
+    fixed_cooling_mwh = float(np.sum(fixed.cooling_power_w(it_power_w, weather))) / 1e6
+    optimized_cooling_mwh = float(np.sum(optimized.cooling_power_w(it_power_w, weather))) / 1e6
+    return {
+        "it_energy_mwh": float(np.sum(it_power_w)) / 1e6,
+        "fixed_cooling_mwh": fixed_cooling_mwh,
+        "optimized_cooling_mwh": optimized_cooling_mwh,
+        "cooling_reduction_pct": 100 * (1 - optimized_cooling_mwh / fixed_cooling_mwh),
+        "fixed_mean_pue": float(np.mean(fixed.pue(weather))),
+        "optimized_mean_pue": float(np.mean(optimized.pue(weather))),
+    }
+
+
+def test_bench_cooling_optimization(benchmark):
+    result = benchmark.pedantic(_annual_comparison, rounds=1, iterations=1, warmup_rounds=0)
+
+    print_header("Optimized vs. fixed-set-point cooling over a simulated year")
+    print_rows([result])
+    pue_reduction = 100 * (1 - result["optimized_mean_pue"] / result["fixed_mean_pue"])
+    print(f"cooling energy reduction : {result['cooling_reduction_pct']:.1f}%   (paper/DeepMind: ~40%)")
+    print(f"mean PUE reduction       : {pue_reduction:.1f}%   (paper/DeepMind: ~15%)")
+
+    # Shape: double-digit cooling-energy reduction and a PUE reduction of the
+    # order of 10-25%, with the optimized controller never worse.
+    assert 25.0 < result["cooling_reduction_pct"] < 75.0
+    assert 8.0 < pue_reduction < 30.0
+    assert result["optimized_cooling_mwh"] < result["fixed_cooling_mwh"]

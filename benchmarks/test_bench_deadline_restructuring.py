@@ -1,0 +1,36 @@
+"""CLAIM-DEADLINE — restructuring the conference-deadline calendar (Section III).
+
+Paper proposal: if the same amount of research compute is spent regardless,
+the calendar could (1) spread deadlines uniformly, (2) concentrate them in the
+winter/spring months, or (3) abolish them for rolling submissions.  The
+benchmark evaluates all three against the actual calendar on identical
+facility/weather/grid substrates.
+"""
+
+from benchmarks._report import print_header, print_rows
+from repro.core.policies import evaluate_deadline_restructuring
+
+
+def test_bench_deadline_restructuring(benchmark):
+    outcomes = benchmark.pedantic(
+        lambda: evaluate_deadline_restructuring(seed=0, n_months=24),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+
+    print_header("Section III — deadline-calendar options (identical facility, weather, grid)")
+    print_rows([dict(o.summary()) for o in outcomes.values()])
+    print("options: actual = Table I calendar; uniform/winter/rolling = the paper's proposals (1)-(3)")
+
+    actual = outcomes["actual"]
+    # Rolling submissions remove the anticipation surges entirely.
+    assert outcomes["rolling"].total_energy_mwh < actual.total_energy_mwh
+    # Winter concentration moves load out of the hot, dirty summer months.
+    assert outcomes["winter"].summer_energy_share < actual.summer_energy_share
+    # At least one restructuring option improves peak power or emissions.
+    assert any(
+        outcomes[o].peak_monthly_power_kw < actual.peak_monthly_power_kw
+        or outcomes[o].total_emissions_t < actual.total_emissions_t
+        for o in ("uniform", "winter", "rolling")
+    )

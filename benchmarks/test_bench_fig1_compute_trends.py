@@ -1,0 +1,34 @@
+"""FIG1 — Fig. 1: training-compute demand of notable A.I. systems over time.
+
+Paper claim: compute used by notable systems grew with a ~2-year doubling time
+until ~2012 and with a months-scale doubling time afterwards (the chart the
+paper reproduces from OpenAI / The Economist to motivate the sustainability
+problem).
+"""
+
+from benchmarks._report import print_header, print_rows
+from repro.analysis.figures import fig1_compute_trends
+
+
+def test_bench_fig1_compute_trends(benchmark):
+    result = benchmark(fig1_compute_trends)
+
+    print_header("Fig. 1 — AI training compute: per-era exponential fits")
+    print_rows(
+        [
+            {
+                "era": fit.era,
+                "n_systems": fit.n_systems,
+                "doubling_time_months": fit.doubling_time_months,
+                "r_squared": fit.r_squared,
+            }
+            for fit in (result.pre2012_fit, result.modern_fit)
+        ]
+    )
+    print(f"growth acceleration (modern / pre-2012 rate): {result.growth_acceleration:.1f}x")
+    print("paper: ~24-month doubling before 2012, ~3.4-month doubling after (through 2018)")
+
+    # Shape assertions: slow-then-fast growth with a large acceleration factor.
+    assert result.pre2012_fit.doubling_time_months > 12.0
+    assert result.modern_fit.doubling_time_months < 12.0
+    assert result.growth_acceleration > 3.0

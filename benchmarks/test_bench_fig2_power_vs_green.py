@@ -1,0 +1,36 @@
+"""FIG2 — Fig. 2: monthly facility power vs. monthly solar+wind share.
+
+Paper claim: over 2020-2021 the SuperCloud's power consumption was high exactly
+when the grid's solar+wind share was low (summer) and vice versa (spring), an
+anti-correlation that creates the temporal-shifting opportunity of Section II.A.
+"""
+
+from benchmarks._report import print_header, print_rows
+from repro.analysis.figures import fig2_power_vs_green_share
+
+
+def test_bench_fig2_power_vs_green_share(benchmark, scenario):
+    result = benchmark.pedantic(
+        fig2_power_vs_green_share, args=(scenario,), rounds=3, iterations=1, warmup_rounds=0
+    )
+
+    print_header("Fig. 2 — monthly average power (kW) vs. % of energy from solar+wind")
+    print_rows(
+        [
+            {
+                "month": label,
+                "avg_power_kw": float(result.monthly_power_kw[i]),
+                "solar_wind_pct": float(result.monthly_renewable_share_pct[i]),
+            }
+            for i, label in enumerate(result.month_labels)
+        ]
+    )
+    print(f"correlation(power, green share) = {result.correlation:+.3f}  (paper: visibly negative)")
+    print(f"power peak month   : {result.power_peak_month}   (paper: June-August)")
+    print(f"greenest month      : {result.renewable_peak_month}   (paper: February-May)")
+    print(f"mismatch opportunity: {result.mismatch_opportunity():.2f} percentage points of green share")
+
+    assert result.correlation < -0.1
+    assert result.power_peak_month.split()[0] in {"Jun", "Jul", "Aug"}
+    assert result.renewable_peak_month.split()[0] in {"Feb", "Mar", "Apr", "May"}
+    assert 150.0 < result.monthly_power_kw.min() < result.monthly_power_kw.max() < 550.0

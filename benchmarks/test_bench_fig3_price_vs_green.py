@@ -1,0 +1,38 @@
+"""FIG3 — Fig. 3: monthly average LMP vs. monthly solar+wind share.
+
+Paper claim: monthly real-time prices (south-eastern/central MA LMPs) sit
+roughly in the $20-50/MWh band and are lowest ($20-25) in the spring months
+when the renewable share is highest — shifting purchases into green windows is
+therefore also financially attractive.
+"""
+
+from benchmarks._report import print_header, print_rows
+from repro.analysis.figures import fig3_price_vs_green_share
+
+
+def test_bench_fig3_price_vs_green_share(benchmark, scenario):
+    result = benchmark.pedantic(
+        fig3_price_vs_green_share, args=(scenario,), rounds=3, iterations=1, warmup_rounds=0
+    )
+
+    print_header("Fig. 3 — monthly average LMP ($/MWh) vs. % of energy from solar+wind")
+    print_rows(
+        [
+            {
+                "month": label,
+                "price_per_mwh": float(result.monthly_price_per_mwh[i]),
+                "solar_wind_pct": float(result.monthly_renewable_share_pct[i]),
+            }
+            for i, label in enumerate(result.month_labels)
+        ]
+    )
+    print(f"correlation(price, green share) = {result.correlation:+.3f}  (paper: negative)")
+    print(f"monthly price range             = ${result.price_range[0]:.1f} - ${result.price_range[1]:.1f} /MWh (paper: ~$20-50)")
+    print(f"cheapest month                  = {result.cheapest_month} (paper: Feb-May)")
+    print(f"green-month discount            = {result.spring_discount():+.1f} $/MWh")
+
+    assert result.correlation < -0.2
+    assert result.spring_discount() < 0
+    assert 15.0 < result.price_range[0] < 35.0
+    assert 35.0 < result.price_range[1] < 60.0
+    assert result.cheapest_month.split()[0] in {"Feb", "Mar", "Apr", "May"}

@@ -1,0 +1,33 @@
+"""FIG4 — Fig. 4: monthly facility power vs. monthly mean outdoor temperature.
+
+Paper claim: there is a "near one-to-one, monotonic relationship" between the
+monthly average temperature and the monthly average power consumption, because
+warmer months force the cooling plant to work harder.
+"""
+
+from benchmarks._report import print_header, print_rows
+from repro.analysis.figures import fig4_power_vs_temperature
+
+
+def test_bench_fig4_power_vs_temperature(benchmark, scenario):
+    result = benchmark.pedantic(
+        fig4_power_vs_temperature, args=(scenario,), rounds=3, iterations=1, warmup_rounds=0
+    )
+
+    print_header("Fig. 4 — monthly average power (kW) vs. monthly mean temperature (F)")
+    print_rows(
+        [
+            {
+                "month": label,
+                "avg_power_kw": float(result.monthly_power_kw[i]),
+                "temperature_f": float(result.monthly_temperature_f[i]),
+            }
+            for i, label in enumerate(result.month_labels)
+        ]
+    )
+    print(f"Pearson correlation  = {result.pearson:+.3f}")
+    print(f"Spearman correlation = {result.spearman:+.3f}  (paper: 'near one-to-one, monotonic')")
+
+    assert result.spearman > 0.8
+    assert result.pearson > 0.8
+    assert result.is_near_one_to_one()

@@ -1,0 +1,44 @@
+"""FIG5 — Fig. 5: monthly energy use vs. number of conference deadlines, 2020-2021.
+
+Paper claims: (a) energy use picks up *ahead of* months with a high
+concentration of deadlines; (b) the pickup starting around Jan/Feb 2021 is
+sharper than in the same period of 2020, with the deadline calendar the main
+difference between the years.  The reproduction additionally generates a
+rolling-submission counterfactual (same facility, same weather, no deadlines)
+so the anticipation effect can be separated from the temperature confounder
+the paper itself flags.
+"""
+
+import numpy as np
+
+from benchmarks._report import print_header, print_rows
+from repro.analysis.figures import fig5_energy_vs_deadlines
+
+
+def test_bench_fig5_energy_vs_deadlines(benchmark, scenario):
+    result = benchmark.pedantic(
+        fig5_energy_vs_deadlines, args=(scenario,), rounds=2, iterations=1, warmup_rounds=0
+    )
+
+    print_header("Fig. 5 — monthly energy (MWh) vs. number of conference deadlines")
+    print_rows(
+        [
+            {
+                "month": label,
+                "energy_mwh": float(result.monthly_energy_mwh[i]),
+                "deadlines": int(result.deadlines_per_month[i]),
+                "no_deadline_counterfactual_mwh": float(result.counterfactual_energy_mwh[i]),
+                "deadline_uplift_mwh": float(result.deadline_uplift_mwh[i]),
+            }
+            for i, label in enumerate(result.month_labels)
+        ]
+    )
+    print(f"mean deadline uplift                    = {float(np.mean(result.deadline_uplift_mwh)):.1f} MWh/month")
+    print(f"corr(uplift, deadlines this+next month) = {result.uplift_vs_upcoming_deadlines_correlation:+.3f}")
+    print(f"early-2021 vs early-2020 energy ratio   = {result.early_2021_vs_2020_ratio:.3f}  (paper: clearly > 1)")
+    print(f"same-month corr(energy, deadlines)      = {result.same_month_correlation:+.3f}")
+
+    assert result.anticipation_detected()
+    assert float(np.mean(result.deadline_uplift_mwh)) > 0
+    assert result.uplift_vs_upcoming_deadlines_correlation > 0.5
+    assert result.early_2021_vs_2020_ratio > 1.0

@@ -1,0 +1,63 @@
+"""CLAIM-INFER — inference dominates the model life-cycle (Section IV.B).
+
+Paper claims (citing AWS/Google figures): inference accounts for ~90% of
+production ML infrastructure cost and 80-90% of energy; serving fleets run at
+poor GPU utilization (AWS p3 instances at 10-30%, TPUs at 28% average) because
+online queries cannot exploit training's batch parallelism.  The benchmark
+builds a representative production model (training + experimentation +
+year-long serving) and reports the life-cycle split and fleet utilization.
+"""
+
+from benchmarks._report import print_header, print_rows
+from repro.tracking.lifecycle import LifecycleCostModel
+from repro.workloads.inference import InferenceWorkloadSpec
+from repro.workloads.training import TrainingJobSpec
+
+
+def _model() -> LifecycleCostModel:
+    return LifecycleCostModel(
+        TrainingJobSpec(name="prod-recommender", single_gpu_hours=600.0, gpu_model="V100"),
+        InferenceWorkloadSpec(name="prod-serving", mean_queries_per_s=900.0, gpu_model="T4"),
+        development_multiplier=4.0,
+        training_gpus=16,
+        seed=0,
+    )
+
+
+def test_bench_lifecycle_inference_share(benchmark):
+    model = _model()
+    breakdown = benchmark.pedantic(lambda: model.breakdown(365.0), rounds=1, iterations=1, warmup_rounds=0)
+
+    print_header("Model life-cycle energy split (1-year deployment)")
+    print_rows(
+        [
+            {
+                "stage": stage,
+                "energy_kwh": kwh,
+                "share_pct": 100 * share,
+            }
+            for stage, kwh, share in (
+                ("development/search", breakdown.development_kwh, breakdown.development_share),
+                ("final training run", breakdown.training_kwh, breakdown.training_share),
+                ("inference (365 d)", breakdown.inference_kwh, breakdown.inference_share),
+            )
+        ]
+    )
+    print_rows(
+        [
+            {
+                "deployment_days": days,
+                "inference_share_pct": 100 * share,
+            }
+            for days, share in _model().inference_share_vs_lifetime((30.0, 90.0, 180.0, 365.0, 730.0)).items()
+        ]
+    )
+    print(f"serving-fleet mean utilization : {breakdown.inference_mean_utilization:.0%} (paper: 10-30%)")
+    print(f"training utilization           : {breakdown.training_utilization:.0%}")
+    print("paper claim: inference is 80-90% of energy; utilization of serving GPUs is poor.")
+
+    assert 0.6 < breakdown.inference_share < 0.98
+    assert breakdown.inference_mean_utilization < 0.45
+    assert breakdown.inference_mean_utilization < breakdown.training_utilization
+    shares = _model().inference_share_vs_lifetime((30.0, 365.0, 730.0))
+    assert shares[730.0] > shares[30.0]

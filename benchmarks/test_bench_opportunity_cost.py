@@ -1,0 +1,41 @@
+"""CLAIM-SHIFT (companion) — the opportunity-cost accounting of Section II.A.
+
+Paper framing: buying dirty power now forgoes the greener (and usually
+cheaper) power available at other times — an *opportunity cost* on top of the
+bill.  The benchmark quantifies that head-room for the simulated facility's
+2020-2021 consumption profile across deferral windows and flexibility levels,
+which is the number an operator would use to decide whether the shifting
+machinery is worth building.
+"""
+
+from benchmarks._report import print_header, print_rows
+from repro.core.opportunity_cost import opportunity_cost_of_profile
+
+
+def test_bench_opportunity_cost(benchmark, scenario):
+    load_kwh = scenario.load_trace.facility_power_w / 1e3
+
+    def sweep():
+        rows = []
+        for window_h in (6, 24, 168):
+            for fraction in (0.2, 0.4):
+                report = opportunity_cost_of_profile(
+                    load_kwh, scenario.grid, deferrable_fraction=fraction, window_h=window_h
+                )
+                rows.append(dict(report.summary()))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1, warmup_rounds=0)
+
+    print_header("Section II.A — avoidable (opportunity) emissions and spend by flexibility")
+    print_rows(rows)
+    print("reading: longer shifting windows and more deferrable load capture more of the")
+    print("foregone green/cheap energy; the weekly window approaches the seasonal effect in Fig. 2/3.")
+
+    assert all(row["avoidable_emissions_pct"] >= 0 for row in rows)
+    assert all(row["avoidable_cost_pct"] >= 0 for row in rows)
+    # A weekly window with 40% flexibility captures more than a 6 h window with 20%.
+    first = rows[0]
+    last = rows[-1]
+    assert last["avoidable_emissions_pct"] >= first["avoidable_emissions_pct"]
+    assert last["avoidable_cost_pct"] >= first["avoidable_cost_pct"]

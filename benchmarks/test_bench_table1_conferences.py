@@ -1,0 +1,32 @@
+"""TAB1 — Table I: the conference catalogue used by the Fig. 5 analysis.
+
+Paper content: a list of notable conferences by area (NLP/Speech, Computer
+Vision, Robotics, General ML, Data Mining) whose deadlines are counted per
+month; the surrounding text notes that "many deadlines tend to concentrate in
+the spring/summer".
+"""
+
+from benchmarks._report import print_header, print_rows
+from repro.analysis.tables import table1_conferences
+from repro.timeutils import MONTH_ABBREVIATIONS
+
+
+def test_bench_table1_conferences(benchmark):
+    result = benchmark(table1_conferences)
+
+    print_header("Table I — notable conferences considered for the deadline analysis")
+    print(result.as_markdown())
+    print()
+    print_rows(
+        [
+            {"month": MONTH_ABBREVIATIONS[m], "deadlines": int(result.deadlines_by_month_of_year[m])}
+            for m in range(12)
+        ]
+    )
+    print(f"total venues                 : {result.n_conferences}")
+    print(f"spring/summer deadline share : {result.spring_summer_fraction:.0%} (paper: the clear majority)")
+    print(f"winter deadline share        : {result.winter_fraction:.0%}")
+
+    assert result.n_conferences >= 40
+    assert set(result.rows) == {"NLP/Speech", "Computer Vision", "Robotics", "General ML", "Data Mining"}
+    assert result.spring_summer_fraction > result.winter_fraction

@@ -1,0 +1,43 @@
+"""CLAIM-WIND — 36-hour-ahead wind-power forecasting (Section IV.C / DeepMind [30]).
+
+Paper claim: neural networks trained on weather forecasts and historical
+turbine data can forecast wind-farm output 36 hours ahead, enabling day-ahead
+delivery commitments and boosting the value of wind energy.  The benchmark
+trains the ridge-over-lags+weather forecaster on a synthetic wind farm and
+scores it against the persistence baseline at several horizons.
+"""
+
+from benchmarks._report import print_header, print_rows
+from repro.forecasting.wind import WindForecastStudy
+
+
+def test_bench_wind_forecasting(benchmark):
+    study_36h = benchmark.pedantic(
+        lambda: WindForecastStudy.run(n_hours=6000, horizon_h=36, seed=0),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+
+    rows = []
+    for horizon in (6, 12, 24, 36, 48):
+        study = WindForecastStudy.run(n_hours=6000, horizon_h=horizon, seed=0)
+        rows.append(
+            {
+                "horizon_h": horizon,
+                "model_mae_mw": study.model_metrics.mae,
+                "persistence_mae_mw": study.persistence_metrics.mae,
+                "skill_vs_persistence": study.skill_vs_persistence,
+            }
+        )
+
+    print_header("36 h-ahead wind-power forecasting vs. persistence (100 MW synthetic farm)")
+    print_rows(rows)
+    print("paper claim: 36 h-ahead forecasts are good enough to commit day-ahead deliveries;")
+    print("the reproduction checks the learned forecaster clearly beats persistence at 36 h.")
+
+    assert study_36h.skill_vs_persistence > 0.15
+    assert study_36h.model_metrics.mae < study_36h.persistence_metrics.mae
+    # Persistence degrades with horizon much faster than the learned model.
+    by_horizon = {r["horizon_h"]: r for r in rows}
+    assert by_horizon[36]["skill_vs_persistence"] > by_horizon[6]["skill_vs_persistence"] - 0.05

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""User-level mechanisms: power-cap trade-offs, the caps-for-GPUs menu, adverse selection.
+
+Walks through the Section II.C story end to end:
+
+1. the raw power-cap trade-off on a single GPU (why caps are an attractive
+   control mechanism at all);
+2. the two-part mechanism: offer a menu "accept stricter caps, receive more
+   GPUs" to a heterogeneous user population and see what it does to system
+   energy, completion times and participation;
+3. the naive alternative (self-characterised queues) and its adverse-selection
+   failure mode.
+
+Run with::
+
+    python examples/powercap_mechanism.py
+"""
+
+from __future__ import annotations
+
+from repro.core.adverse_selection import AdverseSelectionStudy
+from repro.core.mechanism import TwoPartMechanism
+from repro.scheduler.powercap import powercap_energy_tradeoff
+
+
+def main() -> None:
+    print("=" * 72)
+    print("1. Power caps on a V100: energy saved vs. time lost")
+    print("=" * 72)
+    print(f"{'cap':>5} {'cap W':>7} {'runtime penalty':>16} {'energy savings':>15}")
+    for point in powercap_energy_tradeoff("V100"):
+        print(f"{point.cap_fraction:5.2f} {point.cap_w:7.0f} {point.runtime_penalty_pct:15.1f}% "
+              f"{point.energy_savings_pct:14.1f}%")
+    print()
+
+    print("=" * 72)
+    print("2. The two-part mechanism: caps-for-GPUs menu over 120 users")
+    print("=" * 72)
+    mechanism = TwoPartMechanism()
+    population = TwoPartMechanism.synthetic_population(120, green_fraction=0.4, seed=7)
+    outcome = mechanism.evaluate_population(population)
+    chosen = {}
+    for choice in outcome.choices:
+        chosen[choice.option.name] = chosen.get(choice.option.name, 0) + 1
+    print(f"menu              : " + ", ".join(
+        f"{o.name} (cap {o.power_cap_fraction:.0%}, x{o.gpu_multiplier} GPUs)" for o in mechanism.menu))
+    print(f"choices           : {chosen}")
+    print(f"participation     : {outcome.participation_rate:.0%} of users accept a cap")
+    print(f"system energy     : {outcome.mechanism_energy_kwh:.0f} kWh vs "
+          f"{outcome.baseline_energy_kwh:.0f} kWh baseline "
+          f"({100 * outcome.energy_savings_fraction:.1f}% saved)")
+    print(f"mean completion   : {100 * outcome.mean_time_change_fraction:+.1f}% "
+          "(negative = users finish sooner)")
+    print()
+
+    print("=" * 72)
+    print("3. Why not just let users pick queues? Adverse selection in numbers")
+    print("=" * 72)
+    study = AdverseSelectionStudy(seed=3, strategic_fraction=0.6)
+    for regime, result in study.compare_regimes(n_users=500).items():
+        print(f"{regime:>10}: misreports {result.misreport_rate:.0%}, "
+              f"urgent-queue share of demand {result.urgent_queue_congestion:.0%}, "
+              f"expected urgent wait {result.expected_urgent_wait_penalty_h:.1f} h")
+    print()
+    print("The strategic regime clogs the urgent queue exactly as the paper warns; the two-part")
+    print("design removes the incentive to misreport because queue choice no longer buys speed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Quickstart: measure the energy and carbon of a (simulated) training run.
+
+This is the measurement workflow Section IV.B of the paper asks every
+facility to make easy: run your experiment, get energy/carbon alongside the
+accuracy number, and report both.  Real deployments poll NVML on real GPUs;
+here the GPUs are simulated, so the script runs anywhere, but the tracking
+code path is identical.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.telemetry import SimulatedNvml
+from repro.tracking import EnergyTracker, ExperimentReport, ReportCollection
+from repro.tracking.emissions import equivalent_miles_driven
+from repro.workloads.training import TrainingJobModel, TrainingJobSpec
+
+
+def train_with_tracking(label: str, *, n_gpus: int, power_cap_fraction: float | None) -> ExperimentReport:
+    """'Train' a ResNet-50-like model on simulated GPUs while tracking energy."""
+    workload = TrainingJobSpec(name="imagenet-resnet50", single_gpu_hours=90.0, utilization=0.93)
+    model = TrainingJobModel(workload)
+    plan = model.run(n_gpus, power_cap_fraction)
+
+    nvml = SimulatedNvml.create(n_devices=n_gpus, gpu_model="V100", seed=0)
+    tracker = EnergyTracker(nvml, region="ISO-NE", sampling_period_s=60.0, label=label)
+    with tracker:
+        for handle in nvml.devices:
+            if power_cap_fraction is not None:
+                nvml.device_set_power_limit_w(handle, power_cap_fraction * handle.spec.tdp_w)
+            nvml.set_utilization(handle, workload.utilization)
+        # Advance simulated time for the whole training run (hours -> seconds).
+        tracker.advance(plan.wall_clock_hours * 3600.0)
+
+    report = tracker.report()
+    print(f"[{label}] {n_gpus}x V100, cap={power_cap_fraction or 'none'}")
+    print(f"  wall clock : {plan.wall_clock_hours:8.1f} h")
+    print(f"  GPU energy : {report.energy_kwh:8.1f} kWh   (mean power {report.mean_power_w:.0f} W)")
+    print(f"  emissions  : {report.emissions_kg:8.1f} kg CO2e "
+          f"(~{float(equivalent_miles_driven(report.emissions_g)):.0f} passenger-vehicle miles)")
+    print()
+    return ExperimentReport.from_tracker(
+        report,
+        task="imagenet",
+        performance_metric="top1_accuracy",
+        performance_value=0.762,
+        hardware=f"{n_gpus}x V100",
+        hyperparameters={"power_cap_fraction": power_cap_fraction, "n_gpus": n_gpus},
+    )
+
+
+def main() -> None:
+    print("=" * 72)
+    print("Quickstart: energy/carbon tracking for a simulated training run")
+    print("=" * 72)
+    collection = ReportCollection()
+    collection.add(train_with_tracking("uncapped-8gpu", n_gpus=8, power_cap_fraction=None))
+    collection.add(train_with_tracking("capped-70pct-8gpu", n_gpus=8, power_cap_fraction=0.7))
+    collection.add(train_with_tracking("capped-70pct-10gpu", n_gpus=10, power_cap_fraction=0.7))
+
+    print("Green leaderboard (performance per kWh):")
+    print(collection.to_markdown(by="performance_per_kwh"))
+    print()
+    print(f"total energy reported : {collection.total_energy_kwh():.1f} kWh")
+    print(f"total emissions       : {collection.total_emissions_kg():.1f} kg CO2e")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so the
+package can also be installed in offline environments whose setuptools/pip
+combination cannot build PEP 660 editable wheels (no ``wheel`` package
+available), via ``pip install -e . --no-build-isolation`` falling back to the
+legacy ``setup.py develop`` path.
+"""
+
+from setuptools import setup
+
+setup()

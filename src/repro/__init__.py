@@ -1,0 +1,60 @@
+"""repro — an energy- and carbon-aware HPC/datacenter toolkit.
+
+A production-style reproduction of *"A Green(er) World for A.I."*
+(Zhao et al., IEEE IPDPSW 2022, DOI 10.1109/IPDPSW55747.2022.00126): the
+optimization framework, mechanisms, and empirical analyses the paper sketches,
+built on simulated-but-calibrated substrates (GPU telemetry, cluster,
+New-England-like grid, site weather, conference-driven demand).
+
+Subpackages
+-----------
+``repro.core``
+    The paper's contribution: Eq. 1 datacenter optimization, Eq. 2 per-user
+    decomposition, the two-part power-cap mechanism, adverse selection,
+    load shifting, deadline restructuring, opportunity costs, stress tests.
+``repro.telemetry`` / ``repro.cluster`` / ``repro.scheduler``
+    Simulated NVML power telemetry, the cluster + discrete-event simulator,
+    and the scheduling policies (FIFO/backfill/energy/carbon/deadline-aware).
+``repro.grid`` / ``repro.climate`` / ``repro.workloads``
+    The environment ``ε``: fuel mix, carbon intensity, prices, storage,
+    weather and climate scenarios, training/inference/trace/deadline workloads.
+``repro.tracking`` / ``repro.forecasting`` / ``repro.analysis``
+    Experiment energy/carbon tracking, forecasting models, and the
+    figure/table builders (Fig. 1-5, Table I).
+``repro.parallel``
+    Process-pool parameter sweeps.
+
+Quick start
+-----------
+>>> from repro import GreenDatacenterModel
+>>> model = GreenDatacenterModel()
+>>> figures = model.monthly_figures()
+>>> figures["fig2"].correlation < 0          # consumption vs. green share
+True
+"""
+
+from .config import ExperimentConfig, FacilityConfig, SiteConfig
+from .core.framework import GreenDatacenterModel
+from .errors import GreenHPCError
+from .timeutils import SimulationCalendar
+
+__version__ = "1.0.0"
+
+#: Citation of the reproduced paper.
+PAPER_REFERENCE = (
+    "D. Zhao, N. C. Frey, J. McDonald, M. Hubbell, D. Bestor, M. Jones, A. Prout, "
+    "V. Gadepally, S. Samsi, 'A Green(er) World for A.I.', 2022 IEEE International "
+    "Parallel and Distributed Processing Symposium Workshops (IPDPSW), "
+    "DOI 10.1109/IPDPSW55747.2022.00126"
+)
+
+__all__ = [
+    "__version__",
+    "PAPER_REFERENCE",
+    "GreenHPCError",
+    "ExperimentConfig",
+    "FacilityConfig",
+    "SiteConfig",
+    "SimulationCalendar",
+    "GreenDatacenterModel",
+]

@@ -1,0 +1,120 @@
+"""Monthly aggregation containers.
+
+All of the paper's empirical figures are monthly series over the 2020-2021
+window.  :class:`MonthlySeries` is a small labelled container for one such
+series, and :func:`monthly_frame` / :func:`align_monthly` combine several of
+them into a column-aligned table ready for correlation analysis or printing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..errors import DataError
+from ..timeutils import SimulationCalendar
+
+__all__ = ["MonthlySeries", "monthly_frame", "align_monthly"]
+
+
+@dataclass(frozen=True)
+class MonthlySeries:
+    """One monthly series with its labels and unit.
+
+    Attributes
+    ----------
+    name:
+        Series name (e.g. ``"avg_power_kw"``).
+    values:
+        One value per month.
+    month_labels:
+        Human-readable month labels aligned with ``values``.
+    unit:
+        Unit string for display.
+    """
+
+    name: str
+    values: np.ndarray
+    month_labels: tuple[str, ...]
+    unit: str = ""
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values, dtype=float)
+        if values.ndim != 1:
+            raise DataError("values must be 1-D")
+        if len(self.month_labels) != values.shape[0]:
+            raise DataError("month_labels must align with values")
+        object.__setattr__(self, "values", values)
+
+    def __len__(self) -> int:
+        return self.values.shape[0]
+
+    @classmethod
+    def from_hourly(
+        cls,
+        name: str,
+        hourly_values: np.ndarray,
+        calendar: SimulationCalendar,
+        *,
+        how: str = "mean",
+        unit: str = "",
+    ) -> "MonthlySeries":
+        """Aggregate an hourly series into a monthly one (``how`` is 'mean' or 'sum')."""
+        if how == "mean":
+            values = calendar.monthly_mean(hourly_values)
+        elif how == "sum":
+            values = calendar.monthly_sum(hourly_values)
+        else:
+            raise DataError(f"how must be 'mean' or 'sum', got {how!r}")
+        return cls(name=name, values=values, month_labels=tuple(calendar.labels()), unit=unit)
+
+    def describe(self) -> dict[str, float]:
+        """Min/max/mean/std summary."""
+        return {
+            "min": float(self.values.min()),
+            "max": float(self.values.max()),
+            "mean": float(self.values.mean()),
+            "std": float(self.values.std()),
+        }
+
+    def argmax_label(self) -> str:
+        """Label of the month with the largest value."""
+        return self.month_labels[int(np.argmax(self.values))]
+
+    def argmin_label(self) -> str:
+        """Label of the month with the smallest value."""
+        return self.month_labels[int(np.argmin(self.values))]
+
+
+def align_monthly(series: Sequence[MonthlySeries]) -> list[MonthlySeries]:
+    """Validate that several monthly series share the same months, returning them.
+
+    Raises :class:`DataError` when lengths or labels differ, which catches the
+    common mistake of mixing 12- and 24-month horizons.
+    """
+    if not series:
+        raise DataError("align_monthly requires at least one series")
+    reference = series[0].month_labels
+    for s in series[1:]:
+        if s.month_labels != reference:
+            raise DataError(
+                f"monthly series {s.name!r} has different months than {series[0].name!r}"
+            )
+    return list(series)
+
+
+def monthly_frame(series: Sequence[MonthlySeries]) -> Mapping[str, np.ndarray]:
+    """Combine aligned monthly series into a dict-of-columns 'frame'.
+
+    The first column is ``"month"`` (labels); remaining columns are the series
+    values keyed by their names.
+    """
+    aligned = align_monthly(series)
+    frame: dict[str, np.ndarray] = {"month": np.asarray(aligned[0].month_labels, dtype=object)}
+    for s in aligned:
+        if s.name in frame:
+            raise DataError(f"duplicate series name {s.name!r}")
+        frame[s.name] = s.values
+    return frame

@@ -1,0 +1,174 @@
+"""Command-line interface.
+
+``greenhpc`` exposes the toolkit's headline analyses so an operator (or a
+reviewer reproducing the paper) can regenerate each figure's series and the
+main policy comparisons without writing Python:
+
+* ``greenhpc figures`` — print the Fig. 2-5 monthly series and their statistics;
+* ``greenhpc table1`` — print the reproduced Table I;
+* ``greenhpc powercap`` — the power-cap energy/time trade-off table;
+* ``greenhpc shifting`` — carbon/price-aware load-shifting savings;
+* ``greenhpc deadlines`` — the deadline-restructuring comparison;
+* ``greenhpc stress`` — the stress-test battery.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Iterable, Sequence
+
+from .analysis.figures import (
+    fig2_power_vs_green_share,
+    fig3_price_vs_green_share,
+    fig4_power_vs_temperature,
+    fig5_energy_vs_deadlines,
+    SuperCloudScenario,
+)
+from .analysis.tables import table1_conferences
+from .core.framework import GreenDatacenterModel
+from .core.policies import LoadShiftingPolicy
+from .scheduler.powercap import powercap_energy_tradeoff
+
+__all__ = ["main", "build_parser"]
+
+
+def _print_rows(rows: Iterable[dict], *, stream=None) -> None:
+    """Print dict records as an aligned text table."""
+    stream = stream or sys.stdout
+    rows = list(rows)
+    if not rows:
+        print("(no rows)", file=stream)
+        return
+    keys = list(rows[0].keys())
+    formatted = []
+    for row in rows:
+        formatted.append(
+            {k: (f"{v:.4g}" if isinstance(v, float) else str(v)) for k, v in row.items()}
+        )
+    widths = {k: max(len(k), *(len(r[k]) for r in formatted)) for k in keys}
+    header = "  ".join(k.ljust(widths[k]) for k in keys)
+    print(header, file=stream)
+    print("-" * len(header), file=stream)
+    for row in formatted:
+        print("  ".join(row[k].ljust(widths[k]) for k in keys), file=stream)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="greenhpc",
+        description="Reproduction toolkit for 'A Green(er) World for A.I.' (IPDPSW 2022).",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master random seed")
+    parser.add_argument("--months", type=int, default=24, help="simulation horizon in months")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("figures", help="print the Fig. 2-5 monthly series")
+    subparsers.add_parser("table1", help="print the reproduced Table I")
+    subparsers.add_parser("powercap", help="print the power-cap energy/time trade-off")
+    shifting = subparsers.add_parser("shifting", help="carbon/price-aware load shifting savings")
+    shifting.add_argument("--deferrable", type=float, default=0.3, help="deferrable load fraction")
+    shifting.add_argument("--window", type=int, default=24, help="shifting window in hours")
+    subparsers.add_parser("deadlines", help="deadline restructuring comparison")
+    subparsers.add_parser("stress", help="run the stress-test battery")
+    return parser
+
+
+def _command_figures(seed: int, months: int) -> int:
+    scenario = SuperCloudScenario.build(seed=seed, n_months=months)
+    fig2 = fig2_power_vs_green_share(scenario)
+    fig3 = fig3_price_vs_green_share(scenario)
+    fig4 = fig4_power_vs_temperature(scenario)
+    rows = []
+    for i, label in enumerate(fig2.month_labels):
+        rows.append(
+            {
+                "month": label,
+                "power_kw": float(fig2.monthly_power_kw[i]),
+                "solar_wind_pct": float(fig2.monthly_renewable_share_pct[i]),
+                "price_per_mwh": float(fig3.monthly_price_per_mwh[i]),
+                "temperature_f": float(fig4.monthly_temperature_f[i]),
+            }
+        )
+    _print_rows(rows)
+    print()
+    print(f"Fig.2 corr(power, green share)      = {fig2.correlation:+.3f}")
+    print(f"Fig.3 corr(price, green share)      = {fig3.correlation:+.3f}")
+    print(f"Fig.4 spearman(power, temperature)  = {fig4.spearman:+.3f}")
+    if months >= 16:
+        fig5 = fig5_energy_vs_deadlines(scenario)
+        print(f"Fig.5 corr(energy, deadlines)       = {fig5.same_month_correlation:+.3f}")
+        print(f"Fig.5 early-2021 / early-2020 ratio = {fig5.early_2021_vs_2020_ratio:.3f}")
+    return 0
+
+
+def _command_table1() -> int:
+    table = table1_conferences()
+    print(table.as_markdown())
+    print()
+    print(f"conferences: {table.n_conferences}")
+    print(f"spring/summer deadline share: {table.spring_summer_fraction:.0%}")
+    return 0
+
+
+def _command_powercap() -> int:
+    rows = [
+        {
+            "cap_fraction": p.cap_fraction,
+            "cap_w": p.cap_w,
+            "runtime_penalty_pct": p.runtime_penalty_pct,
+            "energy_savings_pct": p.energy_savings_pct,
+        }
+        for p in powercap_energy_tradeoff()
+    ]
+    _print_rows(rows)
+    return 0
+
+
+def _command_shifting(seed: int, months: int, deferrable: float, window: int) -> int:
+    model = GreenDatacenterModel()
+    outcome = model.load_shifting(
+        LoadShiftingPolicy(deferrable_fraction=deferrable, window_h=window, signal="carbon")
+    )
+    _print_rows([dict(outcome.summary())])
+    return 0
+
+
+def _command_deadlines(seed: int, months: int) -> int:
+    model = GreenDatacenterModel()
+    outcomes = model.deadline_options()
+    _print_rows([dict(o.summary()) for o in outcomes.values()])
+    return 0
+
+
+def _command_stress(seed: int, months: int) -> int:
+    model = GreenDatacenterModel()
+    results = model.stress_tests()
+    from .core.stress import StressTestHarness
+
+    _print_rows(StressTestHarness.degradation_table(results))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "figures":
+        return _command_figures(args.seed, args.months)
+    if args.command == "table1":
+        return _command_table1()
+    if args.command == "powercap":
+        return _command_powercap()
+    if args.command == "shifting":
+        return _command_shifting(args.seed, args.months, args.deferrable, args.window)
+    if args.command == "deadlines":
+        return _command_deadlines(args.seed, args.months)
+    if args.command == "stress":
+        return _command_stress(args.seed, args.months)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

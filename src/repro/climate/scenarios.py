@@ -1,0 +1,146 @@
+"""Climate scenarios: systematic transformations of a weather trace.
+
+Section II.B of the paper asks how existing efficiency practices behave under
+"more extreme climate and more frequent weather events" and proposes regular
+stress tests.  A scenario here is a pure transformation of an hourly
+temperature series; scenarios compose, so a stress test can layer a uniform
+warming trend, amplified seasons and an injected heat wave.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError, DataError
+from ..timeutils import SimulationCalendar
+
+__all__ = [
+    "ClimateScenario",
+    "UniformWarmingScenario",
+    "AmplifiedSeasonsScenario",
+    "HeatWaveScenario",
+    "ColdSnapScenario",
+    "CompositeScenario",
+]
+
+
+class ClimateScenario(ABC):
+    """A deterministic transformation of an hourly temperature series."""
+
+    #: Short identifier used in stress-test reports.
+    name: str = "identity"
+
+    @abstractmethod
+    def apply(self, calendar: SimulationCalendar, hourly_temperature_c: np.ndarray) -> np.ndarray:
+        """Return the transformed temperature series (never mutates the input)."""
+
+    def _validate(self, calendar: SimulationCalendar, series: np.ndarray) -> np.ndarray:
+        arr = np.asarray(series, dtype=float)
+        if arr.shape != (calendar.total_hours,):
+            raise DataError(
+                f"temperature series must have {calendar.total_hours} hourly entries, got {arr.shape}"
+            )
+        return arr
+
+
+@dataclass
+class UniformWarmingScenario(ClimateScenario):
+    """Add a constant warming offset to every hour (e.g. +2 C world)."""
+
+    warming_c: float = 2.0
+    name: str = field(default="uniform-warming", init=False)
+
+    def apply(self, calendar: SimulationCalendar, hourly_temperature_c: np.ndarray) -> np.ndarray:
+        arr = self._validate(calendar, hourly_temperature_c)
+        return arr + self.warming_c
+
+
+@dataclass
+class AmplifiedSeasonsScenario(ClimateScenario):
+    """Amplify deviations from the series mean, making summers hotter and
+    winters colder (increased seasonal/diurnal variance)."""
+
+    amplification: float = 1.25
+    name: str = field(default="amplified-seasons", init=False)
+
+    def __post_init__(self) -> None:
+        if self.amplification <= 0:
+            raise ConfigurationError("amplification must be positive")
+
+    def apply(self, calendar: SimulationCalendar, hourly_temperature_c: np.ndarray) -> np.ndarray:
+        arr = self._validate(calendar, hourly_temperature_c)
+        mean = float(arr.mean())
+        return mean + (arr - mean) * self.amplification
+
+
+@dataclass
+class HeatWaveScenario(ClimateScenario):
+    """Inject one or more heat waves: sustained temperature excursions.
+
+    Each heat wave raises temperature by ``peak_excess_c`` at its centre with
+    a smooth (raised-cosine) ramp over ``duration_days`` days, starting at
+    ``start_day`` of the horizon (0-based day index, not day-of-year).
+    """
+
+    start_day: float = 550.0
+    duration_days: float = 7.0
+    peak_excess_c: float = 8.0
+    name: str = field(default="heat-wave", init=False)
+
+    def __post_init__(self) -> None:
+        if self.duration_days <= 0:
+            raise ConfigurationError("duration_days must be positive")
+        if self.start_day < 0:
+            raise ConfigurationError("start_day must be non-negative")
+
+    def _excess(self, calendar: SimulationCalendar) -> np.ndarray:
+        hours = calendar.hour_grid(1.0)
+        day = hours / 24.0
+        centre = self.start_day + self.duration_days / 2.0
+        half = self.duration_days / 2.0
+        distance = np.abs(day - centre)
+        inside = distance < half
+        profile = np.where(inside, 0.5 * (1.0 + np.cos(np.pi * distance / half)), 0.0)
+        return self.peak_excess_c * profile
+
+    def apply(self, calendar: SimulationCalendar, hourly_temperature_c: np.ndarray) -> np.ndarray:
+        arr = self._validate(calendar, hourly_temperature_c)
+        return arr + self._excess(calendar)
+
+
+@dataclass
+class ColdSnapScenario(HeatWaveScenario):
+    """A cold snap: the mirror image of a heat wave (temperature *drop*).
+
+    Cold snaps matter because New England grid prices spike under winter gas
+    constraints, stressing the cost side even though cooling gets cheaper.
+    """
+
+    start_day: float = 380.0
+    duration_days: float = 5.0
+    peak_excess_c: float = 12.0
+    name: str = field(default="cold-snap", init=False)
+
+    def apply(self, calendar: SimulationCalendar, hourly_temperature_c: np.ndarray) -> np.ndarray:
+        arr = self._validate(calendar, hourly_temperature_c)
+        return arr - self._excess(calendar)
+
+
+class CompositeScenario(ClimateScenario):
+    """Apply several scenarios in sequence (left to right)."""
+
+    def __init__(self, scenarios: Sequence[ClimateScenario], name: str | None = None) -> None:
+        if not scenarios:
+            raise ConfigurationError("CompositeScenario requires at least one scenario")
+        self.scenarios = tuple(scenarios)
+        self.name = name or "+".join(s.name for s in self.scenarios)
+
+    def apply(self, calendar: SimulationCalendar, hourly_temperature_c: np.ndarray) -> np.ndarray:
+        arr = self._validate(calendar, hourly_temperature_c)
+        for scenario in self.scenarios:
+            arr = scenario.apply(calendar, arr)
+        return arr

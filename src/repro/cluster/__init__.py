@@ -1,0 +1,43 @@
+"""Cluster substrate: resources, discrete-event simulation, cooling, utilization.
+
+This package models the datacenter/HPC system whose energy the paper's
+framework (Eq. 1) optimizes:
+
+* :mod:`~repro.cluster.resources` — GPUs, nodes and the cluster resource pool
+  with allocation/release book-keeping.
+* :mod:`~repro.cluster.events` — a small discrete-event engine (heap-based).
+* :mod:`~repro.cluster.cooling` — the cooling/PUE model that couples facility
+  overhead to outdoor temperature (Fig. 4) and the optimizable cooling
+  controller used for the DeepMind-style cooling claim.
+* :mod:`~repro.cluster.simulator` — the cluster simulator that executes a job
+  trace under a scheduling policy and produces hourly power series, job
+  statistics, and energy/cost/carbon totals.
+* :mod:`~repro.cluster.utilization` — utilization accounting helpers.
+"""
+
+from .resources import GpuResource, NodeState, Node, Cluster, Allocation
+from .events import Event, EventType, EventQueue
+from .cooling import CoolingConfig, CoolingModel, FixedOverheadCooling, OptimizedCoolingController
+from .simulator import ClusterSimulator, SimulationConfig, SimulationResult, JobRecord
+from .utilization import UtilizationTracker, utilization_statistics
+
+__all__ = [
+    "GpuResource",
+    "NodeState",
+    "Node",
+    "Cluster",
+    "Allocation",
+    "Event",
+    "EventType",
+    "EventQueue",
+    "CoolingConfig",
+    "CoolingModel",
+    "FixedOverheadCooling",
+    "OptimizedCoolingController",
+    "ClusterSimulator",
+    "SimulationConfig",
+    "SimulationResult",
+    "JobRecord",
+    "UtilizationTracker",
+    "utilization_statistics",
+]

@@ -1,0 +1,332 @@
+"""Cluster resource model: GPUs, nodes, and the allocation pool.
+
+The resource model is deliberately coarse — the scheduling questions the
+paper raises (how many GPUs to supply, which jobs to start when, what power
+caps to enforce) only need GPU-count granularity with node boundaries, not a
+full topology.  Nodes matter because an occupied node burns non-GPU overhead
+power, so packing jobs onto fewer nodes is itself an energy lever.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..config import FacilityConfig
+from ..errors import ResourceError
+from ..telemetry.gpu_power import GpuPowerModel, GpuSpec, get_gpu_spec
+
+__all__ = ["GpuResource", "NodeState", "Node", "Allocation", "Cluster"]
+
+
+@dataclass
+class GpuResource:
+    """One physical GPU in the cluster.
+
+    Attributes
+    ----------
+    node_id / index:
+        Location of the device.
+    allocated_job_id:
+        Id of the job currently using the device, or ``None`` when free.
+    power_limit_w:
+        Power cap enforced on the device (``None`` means TDP).
+    utilization:
+        Current compute utilization driven by the running job.
+    """
+
+    node_id: int
+    index: int
+    allocated_job_id: Optional[str] = None
+    power_limit_w: Optional[float] = None
+    utilization: float = 0.0
+
+    @property
+    def is_free(self) -> bool:
+        """Whether the GPU is currently unallocated."""
+        return self.allocated_job_id is None
+
+
+class NodeState(enum.Enum):
+    """Operational state of a node."""
+
+    IDLE = "idle"
+    ACTIVE = "active"
+    DRAINED = "drained"
+
+
+@dataclass
+class Node:
+    """A GPU compute node."""
+
+    node_id: int
+    gpus: list[GpuResource]
+    state: NodeState = NodeState.IDLE
+
+    @property
+    def n_gpus(self) -> int:
+        """Total GPUs on the node."""
+        return len(self.gpus)
+
+    @property
+    def free_gpus(self) -> list[GpuResource]:
+        """GPUs currently unallocated (empty when the node is drained)."""
+        if self.state is NodeState.DRAINED:
+            return []
+        return [g for g in self.gpus if g.is_free]
+
+    @property
+    def n_free_gpus(self) -> int:
+        """Number of free GPUs on the node."""
+        return len(self.free_gpus)
+
+    @property
+    def n_busy_gpus(self) -> int:
+        """Number of allocated GPUs on the node."""
+        return sum(1 for g in self.gpus if not g.is_free)
+
+    @property
+    def is_occupied(self) -> bool:
+        """Whether any GPU on the node is allocated."""
+        return self.n_busy_gpus > 0
+
+    def refresh_state(self) -> None:
+        """Update the IDLE/ACTIVE state from current allocations (drained nodes stay drained)."""
+        if self.state is NodeState.DRAINED:
+            return
+        self.state = NodeState.ACTIVE if self.is_occupied else NodeState.IDLE
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A successful placement of a job onto specific GPUs."""
+
+    job_id: str
+    gpu_locations: tuple[tuple[int, int], ...]  # (node_id, gpu_index) pairs
+
+    @property
+    def n_gpus(self) -> int:
+        """Number of GPUs in the allocation."""
+        return len(self.gpu_locations)
+
+    @property
+    def node_ids(self) -> tuple[int, ...]:
+        """Distinct node ids touched by the allocation (sorted)."""
+        return tuple(sorted({node_id for node_id, _ in self.gpu_locations}))
+
+
+class Cluster:
+    """The cluster's GPU pool with allocation and release book-keeping.
+
+    Parameters
+    ----------
+    facility:
+        Facility description (node count, GPUs per node, overhead powers).
+    gpu_model:
+        Name of the GPU model installed in every node.
+    """
+
+    def __init__(self, facility: FacilityConfig | None = None, gpu_model: str = "V100") -> None:
+        self.facility = facility or FacilityConfig()
+        self.gpu_spec: GpuSpec = get_gpu_spec(gpu_model)
+        self.gpu_power_model = GpuPowerModel(self.gpu_spec)
+        self.nodes: list[Node] = [
+            Node(
+                node_id=node_id,
+                gpus=[GpuResource(node_id=node_id, index=i) for i in range(self.facility.gpus_per_node)],
+            )
+            for node_id in range(self.facility.n_nodes)
+        ]
+        self._allocations: dict[str, Allocation] = {}
+
+    # ------------------------------------------------------------------
+    # Capacity queries
+    # ------------------------------------------------------------------
+    @property
+    def total_gpus(self) -> int:
+        """Total GPUs in the cluster."""
+        return sum(node.n_gpus for node in self.nodes)
+
+    @property
+    def n_free_gpus(self) -> int:
+        """Currently free GPUs."""
+        return sum(node.n_free_gpus for node in self.nodes)
+
+    @property
+    def n_busy_gpus(self) -> int:
+        """Currently allocated GPUs."""
+        return sum(node.n_busy_gpus for node in self.nodes)
+
+    @property
+    def n_occupied_nodes(self) -> int:
+        """Nodes with at least one allocated GPU."""
+        return sum(1 for node in self.nodes if node.is_occupied)
+
+    @property
+    def n_drained_nodes(self) -> int:
+        """Nodes administratively removed from service."""
+        return sum(1 for node in self.nodes if node.state is NodeState.DRAINED)
+
+    @property
+    def allocations(self) -> dict[str, Allocation]:
+        """Live allocations keyed by job id (copy)."""
+        return dict(self._allocations)
+
+    def gpu_utilization_fraction(self) -> float:
+        """Fraction of (non-drained) GPUs currently allocated."""
+        available = sum(node.n_gpus for node in self.nodes if node.state is not NodeState.DRAINED)
+        if available == 0:
+            return 0.0
+        return self.n_busy_gpus / available
+
+    def can_fit(self, n_gpus: int) -> bool:
+        """Whether ``n_gpus`` GPUs are currently free (across any nodes)."""
+        if n_gpus <= 0:
+            raise ResourceError(f"n_gpus must be positive, got {n_gpus!r}")
+        return self.n_free_gpus >= n_gpus
+
+    # ------------------------------------------------------------------
+    # Allocation / release
+    # ------------------------------------------------------------------
+    def allocate(
+        self,
+        job_id: str,
+        n_gpus: int,
+        *,
+        utilization: float = 1.0,
+        power_limit_w: Optional[float] = None,
+        pack: bool = True,
+    ) -> Allocation:
+        """Allocate ``n_gpus`` GPUs to ``job_id``.
+
+        With ``pack=True`` (the default, and what energy-aware policies want)
+        GPUs are taken from the most-occupied nodes first so fewer nodes are
+        woken up; with ``pack=False`` they are taken from the least-occupied
+        nodes (spreading, which can help thermals but costs idle overhead).
+        """
+        if job_id in self._allocations:
+            raise ResourceError(f"job {job_id!r} already holds an allocation")
+        if n_gpus <= 0:
+            raise ResourceError(f"n_gpus must be positive, got {n_gpus!r}")
+        if not self.can_fit(n_gpus):
+            raise ResourceError(
+                f"cannot allocate {n_gpus} GPUs: only {self.n_free_gpus} free"
+            )
+        candidates = [node for node in self.nodes if node.n_free_gpus > 0]
+        chosen: list[GpuResource] = []
+        if pack:
+            # Fill the most-occupied nodes first, taking whole nodes at a time.
+            candidates.sort(key=lambda node: (node.n_free_gpus, node.node_id))
+            for node in candidates:
+                for gpu in node.free_gpus:
+                    chosen.append(gpu)
+                    if len(chosen) == n_gpus:
+                        break
+                if len(chosen) == n_gpus:
+                    break
+        else:
+            # Spread: take one GPU at a time from the emptiest node remaining.
+            free_by_node = {node.node_id: list(node.free_gpus) for node in candidates}
+            while len(chosen) < n_gpus:
+                node_id = max(free_by_node, key=lambda nid: (len(free_by_node[nid]), -nid))
+                chosen.append(free_by_node[node_id].pop(0))
+                if not free_by_node[node_id]:
+                    del free_by_node[node_id]
+        locations = []
+        for gpu in chosen:
+            gpu.allocated_job_id = job_id
+            gpu.utilization = float(utilization)
+            gpu.power_limit_w = power_limit_w
+            locations.append((gpu.node_id, gpu.index))
+        for node in self.nodes:
+            node.refresh_state()
+        allocation = Allocation(job_id=job_id, gpu_locations=tuple(locations))
+        self._allocations[job_id] = allocation
+        return allocation
+
+    def release(self, job_id: str) -> Allocation:
+        """Release a job's allocation, returning it."""
+        allocation = self._allocations.pop(job_id, None)
+        if allocation is None:
+            raise ResourceError(f"job {job_id!r} holds no allocation")
+        gpu_by_location = {(g.node_id, g.index): g for g in self.iter_gpus()}
+        for location in allocation.gpu_locations:
+            gpu = gpu_by_location[location]
+            gpu.allocated_job_id = None
+            gpu.utilization = 0.0
+            gpu.power_limit_w = None
+        for node in self.nodes:
+            node.refresh_state()
+        return allocation
+
+    def set_power_limit(self, job_id: str, power_limit_w: Optional[float]) -> None:
+        """Change the power cap on every GPU held by ``job_id``."""
+        allocation = self._allocations.get(job_id)
+        if allocation is None:
+            raise ResourceError(f"job {job_id!r} holds no allocation")
+        gpu_by_location = {(g.node_id, g.index): g for g in self.iter_gpus()}
+        for location in allocation.gpu_locations:
+            gpu_by_location[location].power_limit_w = power_limit_w
+
+    def drain_nodes(self, n_nodes: int) -> int:
+        """Administratively drain up to ``n_nodes`` currently idle nodes.
+
+        Draining reduces the supplied resource quantity ``q_s`` in Eq. 1;
+        only idle nodes can be drained, and the number actually drained is
+        returned.
+        """
+        if n_nodes < 0:
+            raise ResourceError(f"n_nodes must be non-negative, got {n_nodes!r}")
+        drained = 0
+        for node in self.nodes:
+            if drained >= n_nodes:
+                break
+            if node.state is NodeState.IDLE and not node.is_occupied:
+                node.state = NodeState.DRAINED
+                drained += 1
+        return drained
+
+    def undrain_all(self) -> None:
+        """Return every drained node to service."""
+        for node in self.nodes:
+            if node.state is NodeState.DRAINED:
+                node.state = NodeState.IDLE
+            node.refresh_state()
+
+    # ------------------------------------------------------------------
+    # Power
+    # ------------------------------------------------------------------
+    def it_power_w(self) -> float:
+        """Instantaneous IT power of the cluster in its current allocation state.
+
+        Sums GPU power (via the analytic power model, honouring per-GPU caps
+        and utilizations), per-node idle power for non-drained nodes, and the
+        active-node overhead for occupied nodes.
+        """
+        power = 0.0
+        for node in self.nodes:
+            if node.state is NodeState.DRAINED:
+                continue
+            power += self.facility.node_idle_power_w
+            if node.is_occupied:
+                power += self.facility.node_active_overhead_w
+            for gpu in node.gpus:
+                if gpu.is_free:
+                    power += self.gpu_spec.idle_power_w
+                else:
+                    power += float(
+                        self.gpu_power_model.power_w(gpu.utilization, gpu.power_limit_w)
+                    )
+        return power
+
+    def iter_gpus(self) -> Iterable[GpuResource]:
+        """Iterate over every GPU in the cluster."""
+        return itertools.chain.from_iterable(node.gpus for node in self.nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Cluster(nodes={len(self.nodes)}, gpus={self.total_gpus}, "
+            f"busy={self.n_busy_gpus}, drained_nodes={self.n_drained_nodes})"
+        )

@@ -1,0 +1,526 @@
+"""The cluster simulator.
+
+Executes a trace of :class:`~repro.scheduler.job.Job` objects on a
+:class:`~repro.cluster.resources.Cluster` under a chosen scheduling policy,
+with optional coupling to a weather trace (cooling overhead), a grid model
+(carbon intensity and price) and a facility power budget.  It produces the
+hourly power series and the job-level statistics that every policy-comparison
+experiment in the paper's framework needs: total IT and facility energy,
+emissions, cost, wait times, deadline misses, and delivered GPU-hours (the
+activity quantity ``A`` of Eq. 1).
+
+Design notes
+------------
+* Event-driven: job submissions and completions are events; a TICK event at a
+  fixed cadence records the power series and lets time-varying context
+  (carbon intensity, temperature) influence scheduling decisions.
+* IT power is recomputed from the cluster state only when allocations change,
+  using a vectorized pass over busy GPUs, and cached between changes.
+* Scheduling happens after every batch of simultaneous events, so a finish
+  and the start of the next job can occur at the same simulated instant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..config import FacilityConfig, require_positive
+from ..errors import SimulationError
+from ..grid.iso_ne import IsoNeLikeGrid
+from ..scheduler.base import ScheduleDecision, Scheduler, SchedulingContext
+from ..scheduler.job import Job, JobState
+from .cooling import CoolingModel
+from .events import EventQueue, EventType
+from .resources import Cluster, NodeState
+
+__all__ = ["SimulationConfig", "JobRecord", "SimulationResult", "ClusterSimulator"]
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Parameters of one simulation run.
+
+    Attributes
+    ----------
+    horizon_h:
+        Length of the simulated window in hours.  Jobs still running at the
+        horizon are accounted for up to the horizon only.
+    tick_h:
+        Cadence of the power-recording / re-scheduling tick.
+    facility_power_budget_w:
+        Optional facility power budget passed to the scheduler.
+    carbon_threshold_quantile:
+        Quantile of the horizon's carbon-intensity distribution used as the
+        "green hour" threshold for carbon-aware policies.
+    """
+
+    horizon_h: float = 7.0 * 24.0
+    tick_h: float = 1.0
+    facility_power_budget_w: Optional[float] = None
+    carbon_threshold_quantile: float = 0.5
+
+    def __post_init__(self) -> None:
+        require_positive(self.horizon_h, "horizon_h")
+        require_positive(self.tick_h, "tick_h")
+        if self.facility_power_budget_w is not None and self.facility_power_budget_w <= 0:
+            raise SimulationError("facility_power_budget_w must be positive when given")
+        if not 0.0 <= self.carbon_threshold_quantile <= 1.0:
+            raise SimulationError("carbon_threshold_quantile must lie in [0, 1]")
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """Immutable per-job outcome extracted at the end of a run."""
+
+    job_id: str
+    user_id: str
+    queue_name: str
+    n_gpus: int
+    submit_time_h: float
+    start_time_h: Optional[float]
+    finish_time_h: Optional[float]
+    wait_time_h: Optional[float]
+    baseline_duration_h: float
+    actual_duration_h: Optional[float]
+    power_cap_w: Optional[float]
+    energy_j: float
+    completed: bool
+    had_deadline: bool
+    missed_deadline: bool
+
+
+@dataclass
+class SimulationResult:
+    """Everything a policy-comparison experiment needs from one run."""
+
+    scheduler_name: str
+    config: SimulationConfig
+    tick_times_h: np.ndarray
+    it_power_w: np.ndarray
+    facility_power_w: np.ndarray
+    pue: np.ndarray
+    carbon_intensity_g_per_kwh: Optional[np.ndarray]
+    price_per_mwh: Optional[np.ndarray]
+    job_records: list[JobRecord] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Energy / emissions / cost totals
+    # ------------------------------------------------------------------
+    @property
+    def it_energy_kwh(self) -> float:
+        """Total IT energy over the horizon in kWh."""
+        return float(np.sum(self.it_power_w) * self.config.tick_h / 1e3)
+
+    @property
+    def facility_energy_kwh(self) -> float:
+        """Total facility energy (IT + cooling overhead) in kWh."""
+        return float(np.sum(self.facility_power_w) * self.config.tick_h / 1e3)
+
+    @property
+    def cooling_energy_kwh(self) -> float:
+        """Cooling / overhead energy in kWh."""
+        return self.facility_energy_kwh - self.it_energy_kwh
+
+    @property
+    def average_pue(self) -> float:
+        """Energy-weighted average PUE over the horizon."""
+        if self.it_energy_kwh == 0:
+            return float("nan")
+        return self.facility_energy_kwh / self.it_energy_kwh
+
+    @property
+    def total_emissions_kg(self) -> float:
+        """Total emissions in kgCO2e (0 when no grid model was attached)."""
+        if self.carbon_intensity_g_per_kwh is None:
+            return 0.0
+        hourly_kwh = self.facility_power_w * self.config.tick_h / 1e3
+        grams = float(np.sum(hourly_kwh * self.carbon_intensity_g_per_kwh))
+        return grams / 1e3
+
+    @property
+    def total_cost_usd(self) -> float:
+        """Total electricity cost in dollars (0 when no grid model was attached)."""
+        if self.price_per_mwh is None:
+            return 0.0
+        hourly_mwh = self.facility_power_w * self.config.tick_h / 1e6
+        return float(np.sum(hourly_mwh * self.price_per_mwh))
+
+    @property
+    def peak_facility_power_w(self) -> float:
+        """Largest facility power observed at any tick."""
+        if self.facility_power_w.size == 0:
+            return 0.0
+        return float(np.max(self.facility_power_w))
+
+    # ------------------------------------------------------------------
+    # Activity / service quality (the A(.) >= alpha side of Eq. 1)
+    # ------------------------------------------------------------------
+    @property
+    def completed_jobs(self) -> int:
+        """Number of jobs that completed within the horizon."""
+        return sum(1 for r in self.job_records if r.completed)
+
+    @property
+    def delivered_gpu_hours(self) -> float:
+        """Baseline GPU-hours of work completed (the useful-work measure of activity)."""
+        return sum(r.n_gpus * r.baseline_duration_h for r in self.job_records if r.completed)
+
+    @property
+    def mean_wait_h(self) -> float:
+        """Mean queue wait among jobs that started (NaN when none started)."""
+        waits = [r.wait_time_h for r in self.job_records if r.wait_time_h is not None]
+        return float(np.mean(waits)) if waits else float("nan")
+
+    @property
+    def p95_wait_h(self) -> float:
+        """95th-percentile queue wait among jobs that started."""
+        waits = [r.wait_time_h for r in self.job_records if r.wait_time_h is not None]
+        return float(np.percentile(waits, 95)) if waits else float("nan")
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        """Fraction of deadline-carrying jobs that missed (or never met) their deadline."""
+        deadline_jobs = [r for r in self.job_records if r.had_deadline]
+        if not deadline_jobs:
+            return 0.0
+        missed = sum(1 for r in deadline_jobs if r.missed_deadline or not r.completed)
+        return missed / len(deadline_jobs)
+
+    @property
+    def energy_per_gpu_hour_kwh(self) -> float:
+        """Facility energy per delivered baseline GPU-hour (lower is better)."""
+        delivered = self.delivered_gpu_hours
+        if delivered == 0:
+            return float("nan")
+        return self.facility_energy_kwh / delivered
+
+    def summary(self) -> dict[str, float]:
+        """A flat dictionary of the headline metrics (for tables and reports)."""
+        return {
+            "scheduler": self.scheduler_name,
+            "it_energy_kwh": self.it_energy_kwh,
+            "facility_energy_kwh": self.facility_energy_kwh,
+            "cooling_energy_kwh": self.cooling_energy_kwh,
+            "average_pue": self.average_pue,
+            "emissions_kg": self.total_emissions_kg,
+            "cost_usd": self.total_cost_usd,
+            "peak_facility_power_kw": self.peak_facility_power_w / 1e3,
+            "completed_jobs": float(self.completed_jobs),
+            "delivered_gpu_hours": self.delivered_gpu_hours,
+            "mean_wait_h": self.mean_wait_h,
+            "p95_wait_h": self.p95_wait_h,
+            "energy_per_gpu_hour_kwh": self.energy_per_gpu_hour_kwh,
+        }
+
+
+class ClusterSimulator:
+    """Runs a job trace through a scheduling policy on a simulated cluster.
+
+    Parameters
+    ----------
+    cluster:
+        The cluster to schedule onto (its allocation state is mutated; use a
+        fresh cluster per run).
+    scheduler:
+        The scheduling policy under test.
+    config:
+        Run parameters.
+    weather_hourly_c:
+        Optional hourly outdoor temperature covering at least the horizon;
+        required when a cooling model is supplied.
+    cooling:
+        Optional cooling model; without one the facility runs at PUE = 1.
+    grid:
+        Optional grid model supplying hourly carbon intensity and price.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        scheduler: Scheduler,
+        config: SimulationConfig | None = None,
+        *,
+        weather_hourly_c: Optional[np.ndarray] = None,
+        cooling: Optional[CoolingModel] = None,
+        grid: Optional[IsoNeLikeGrid] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.scheduler = scheduler
+        self.config = config or SimulationConfig()
+        self.cooling = cooling
+        self.grid = grid
+        n_hours_needed = int(np.ceil(self.config.horizon_h)) + 1
+        if weather_hourly_c is not None:
+            weather = np.asarray(weather_hourly_c, dtype=float)
+            if weather.shape[0] < n_hours_needed:
+                raise SimulationError(
+                    f"weather trace must cover the horizon (+1h): need {n_hours_needed} hours, "
+                    f"got {weather.shape[0]}"
+                )
+            self.weather_hourly_c = weather
+        else:
+            if cooling is not None:
+                raise SimulationError("a cooling model requires a weather trace")
+            self.weather_hourly_c = None
+        if grid is not None:
+            if grid.hours.shape[0] < n_hours_needed:
+                raise SimulationError(
+                    "grid model horizon is shorter than the simulation horizon"
+                )
+            self._carbon_hourly = grid.carbon_intensity_g_per_kwh
+            self._price_hourly = grid.price_per_mwh
+            quantile = self.config.carbon_threshold_quantile
+            horizon_slice = self._carbon_hourly[: n_hours_needed]
+            self._carbon_threshold = float(np.quantile(horizon_slice, quantile))
+            self._renewable_hourly = grid.renewable_share
+        else:
+            self._carbon_hourly = None
+            self._price_hourly = None
+            self._carbon_threshold = None
+            self._renewable_hourly = None
+
+        # Runtime state
+        self._events = EventQueue()
+        self._pending: list[Job] = []
+        self._running: dict[str, Job] = {}
+        self._all_jobs: list[Job] = []
+        self._current_it_power_w = self._compute_it_power()
+
+    # ------------------------------------------------------------------
+    # Power accounting
+    # ------------------------------------------------------------------
+    def _compute_it_power(self) -> float:
+        """Vectorized recomputation of the cluster's instantaneous IT power."""
+        cluster = self.cluster
+        facility = cluster.facility
+        idle_gpu_w = cluster.gpu_spec.idle_power_w
+        power = 0.0
+        busy_utils: list[float] = []
+        busy_caps: list[float] = []
+        for node in cluster.nodes:
+            if node.state is NodeState.DRAINED:
+                continue
+            power += facility.node_idle_power_w
+            occupied = False
+            for gpu in node.gpus:
+                if gpu.is_free:
+                    power += idle_gpu_w
+                else:
+                    occupied = True
+                    busy_utils.append(gpu.utilization)
+                    busy_caps.append(
+                        gpu.power_limit_w if gpu.power_limit_w is not None else cluster.gpu_spec.tdp_w
+                    )
+            if occupied:
+                power += facility.node_active_overhead_w
+        if busy_utils:
+            utils = np.asarray(busy_utils)
+            caps = np.asarray(busy_caps)
+            power += float(np.sum(cluster.gpu_power_model.power_w(utils, caps)))
+        return power
+
+    # ------------------------------------------------------------------
+    # Context
+    # ------------------------------------------------------------------
+    def _hour_index(self, now_h: float) -> int:
+        return int(min(max(now_h, 0.0), self.config.horizon_h))
+
+    def _outdoor_temperature(self, now_h: float) -> Optional[float]:
+        if self.weather_hourly_c is None:
+            return None
+        return float(self.weather_hourly_c[self._hour_index(now_h)])
+
+    def _pue_at(self, now_h: float) -> float:
+        if self.cooling is None:
+            return 1.0
+        temperature = self._outdoor_temperature(now_h)
+        return float(np.asarray(self.cooling.pue(temperature)))
+
+    def _context(self, now_h: float) -> SchedulingContext:
+        index = self._hour_index(now_h)
+        return SchedulingContext(
+            now_h=now_h,
+            carbon_intensity_g_per_kwh=(
+                float(self._carbon_hourly[index]) if self._carbon_hourly is not None else None
+            ),
+            carbon_intensity_threshold=self._carbon_threshold,
+            price_per_mwh=(
+                float(self._price_hourly[index]) if self._price_hourly is not None else None
+            ),
+            renewable_share=(
+                float(self._renewable_hourly[index]) if self._renewable_hourly is not None else None
+            ),
+            outdoor_temperature_c=self._outdoor_temperature(now_h),
+            facility_power_budget_w=self.config.facility_power_budget_w,
+            current_it_power_w=self._current_it_power_w,
+            current_pue=self._pue_at(now_h),
+        )
+
+    # ------------------------------------------------------------------
+    # Job lifecycle
+    # ------------------------------------------------------------------
+    def _start_job(self, decision: ScheduleDecision, now_h: float) -> None:
+        job = decision.job
+        if job.n_gpus > self.cluster.n_free_gpus:
+            raise SimulationError(
+                f"scheduler {self.scheduler.name!r} started job {job.job_id!r} "
+                f"needing {job.n_gpus} GPUs with only {self.cluster.n_free_gpus} free"
+            )
+        spec = self.cluster.gpu_spec
+        model = self.cluster.gpu_power_model
+        cap_fraction = decision.power_cap_fraction
+        if cap_fraction is not None:
+            cap_w = float(model.clamp_power_limit(cap_fraction * spec.tdp_w))
+            slowdown = float(model.slowdown_factor(cap_w, job.utilization))
+        else:
+            cap_w = None
+            slowdown = 1.0
+        actual_duration_h = job.duration_h * slowdown
+        self.cluster.allocate(
+            job.job_id,
+            job.n_gpus,
+            utilization=job.utilization,
+            power_limit_w=cap_w,
+            pack=decision.pack,
+        )
+        job.mark_started(now_h, power_cap_w=cap_w, duration_h=actual_duration_h)
+        self._running[job.job_id] = job
+        self._pending = [j for j in self._pending if j.job_id != job.job_id]
+        self._events.push(now_h + actual_duration_h, EventType.JOB_FINISH, job.job_id)
+
+    def _finish_job(self, job_id: str, now_h: float, *, completed: bool = True) -> None:
+        job = self._running.pop(job_id, None)
+        if job is None:
+            raise SimulationError(f"finish event for unknown running job {job_id!r}")
+        self.cluster.release(job.job_id)
+        # Per-job attributed energy: its GPUs' power over the time it actually ran.
+        model = self.cluster.gpu_power_model
+        gpu_power = float(model.power_w(job.utilization, job.assigned_power_cap_w))
+        start_h = job.start_time_h if job.start_time_h is not None else now_h
+        elapsed_h = max(now_h - start_h, 0.0)
+        energy_j = job.n_gpus * gpu_power * elapsed_h * 3600.0
+        if completed:
+            job.mark_completed(now_h, energy_j)
+        else:
+            job.mark_interrupted(now_h, energy_j)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self, jobs: Sequence[Job]) -> SimulationResult:
+        """Simulate the given job trace and return the run's results."""
+        config = self.config
+        self._all_jobs = list(jobs)
+        seen_ids = set()
+        for job in self._all_jobs:
+            if job.job_id in seen_ids:
+                raise SimulationError(f"duplicate job id {job.job_id!r} in trace")
+            seen_ids.add(job.job_id)
+            if job.state is not JobState.PENDING:
+                raise SimulationError(
+                    f"job {job.job_id!r} must be PENDING at the start of a run"
+                )
+            self._events.push(job.submit_time_h, EventType.JOB_SUBMIT, job)
+
+        n_ticks = int(np.floor(config.horizon_h / config.tick_h)) + 1
+        for k in range(n_ticks):
+            self._events.push(k * config.tick_h, EventType.TICK, None)
+
+        tick_times: list[float] = []
+        it_power: list[float] = []
+        pue_series: list[float] = []
+
+        while not self._events.is_empty():
+            now_h = self._events.peek_time()
+            if now_h is None or now_h > config.horizon_h + 1e-9:
+                break
+            # Drain all events at this instant (finishes first, then submits, then ticks).
+            allocations_changed = False
+            tick_here = False
+            while (not self._events.is_empty()) and abs(self._events.peek_time() - now_h) < 1e-9:
+                event = self._events.pop()
+                if event.event_type is EventType.JOB_FINISH:
+                    self._finish_job(event.payload, now_h)
+                    allocations_changed = True
+                elif event.event_type is EventType.JOB_SUBMIT:
+                    self._pending.append(event.payload)
+                elif event.event_type is EventType.TICK:
+                    tick_here = True
+            if allocations_changed:
+                self._current_it_power_w = self._compute_it_power()
+
+            # Scheduling round.
+            if self._pending and self.cluster.n_free_gpus > 0:
+                context = self._context(now_h)
+                decisions = self.scheduler.select(list(self._pending), self.cluster, context)
+                started_ids = set()
+                for decision in decisions:
+                    if decision.job.job_id in started_ids:
+                        raise SimulationError(
+                            f"scheduler {self.scheduler.name!r} returned job "
+                            f"{decision.job.job_id!r} twice"
+                        )
+                    started_ids.add(decision.job.job_id)
+                    self._start_job(decision, now_h)
+                if decisions:
+                    self._current_it_power_w = self._compute_it_power()
+
+            if tick_here:
+                tick_times.append(now_h)
+                it_power.append(self._current_it_power_w)
+                pue_series.append(self._pue_at(now_h))
+
+        # Jobs still running at the horizon are accounted up to the horizon but
+        # do not count as completed work.
+        for job_id in list(self._running):
+            self._finish_job(job_id, config.horizon_h, completed=False)
+        self._current_it_power_w = self._compute_it_power()
+
+        tick_times_arr = np.asarray(tick_times, dtype=float)
+        it_power_arr = np.asarray(it_power, dtype=float)
+        pue_arr = np.asarray(pue_series, dtype=float)
+        facility_power_arr = it_power_arr * pue_arr
+
+        if self._carbon_hourly is not None:
+            indices = np.clip(tick_times_arr.astype(int), 0, self._carbon_hourly.shape[0] - 1)
+            carbon = self._carbon_hourly[indices]
+            price = self._price_hourly[indices]
+        else:
+            carbon = None
+            price = None
+
+        records = [self._record_for(job) for job in self._all_jobs]
+        return SimulationResult(
+            scheduler_name=self.scheduler.name,
+            config=config,
+            tick_times_h=tick_times_arr,
+            it_power_w=it_power_arr,
+            facility_power_w=facility_power_arr,
+            pue=pue_arr,
+            carbon_intensity_g_per_kwh=carbon,
+            price_per_mwh=price,
+            job_records=records,
+        )
+
+    @staticmethod
+    def _record_for(job: Job) -> JobRecord:
+        return JobRecord(
+            job_id=job.job_id,
+            user_id=job.user_id,
+            queue_name=job.queue_name,
+            n_gpus=job.n_gpus,
+            submit_time_h=job.submit_time_h,
+            start_time_h=job.start_time_h,
+            finish_time_h=job.finish_time_h,
+            wait_time_h=job.wait_time_h(),
+            baseline_duration_h=job.duration_h,
+            actual_duration_h=job.actual_duration_h,
+            power_cap_w=job.assigned_power_cap_w,
+            energy_j=job.energy_j,
+            completed=job.state is JobState.COMPLETED,
+            had_deadline=job.deadline_h is not None,
+            missed_deadline=job.missed_deadline(),
+        )

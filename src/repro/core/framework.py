@@ -1,0 +1,225 @@
+"""The :class:`GreenDatacenterModel` facade.
+
+A convenience object that wires the substrates together the way the paper's
+narrative does: one facility, one site, one grid, one conference-driven
+demand stream — and exposes the framework's questions as methods:
+
+* ``monthly_figures()`` — the Fig. 2-5 series for this facility;
+* ``opportunity_cost()`` — the Section II.A head-room;
+* ``load_shifting()`` — what carbon/price-aware shifting would capture;
+* ``deadline_options()`` — the Section III restructuring comparison;
+* ``stress_tests()`` — the Section II.B battery;
+* ``optimize_operations()`` — the Eq. 1 search on a job-level trace.
+
+Examples and the CLI use this facade; benchmarks call the underlying pieces
+directly so each experiment stays independently reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..climate.weather import WeatherModel
+from ..cluster.cooling import CoolingModel
+from ..cluster.simulator import SimulationConfig
+from ..config import ExperimentConfig, FacilityConfig, SiteConfig
+from ..grid.iso_ne import IsoNeLikeGrid
+from ..scheduler.job import Job
+from ..timeutils import SimulationCalendar
+from ..workloads.demand import DeadlineDemandModel
+from ..workloads.supercloud import SuperCloudTraceConfig, SuperCloudTraceGenerator
+from ..analysis.figures import (
+    Fig2Result,
+    Fig3Result,
+    Fig4Result,
+    Fig5Result,
+    SuperCloudScenario,
+    fig2_power_vs_green_share,
+    fig3_price_vs_green_share,
+    fig4_power_vs_temperature,
+    fig5_energy_vs_deadlines,
+)
+from .objective import ActivityConstraint, ActivityKind, EnergyObjective, ObjectiveKind
+from .optimizer import DatacenterOptimizer, OptimizationOutcome
+from .levers import OperatingPoint
+from .opportunity_cost import OpportunityCostReport, opportunity_cost_of_profile
+from .policies import (
+    DeadlinePolicyOutcome,
+    LoadShiftingPolicy,
+    ShiftingOutcome,
+    evaluate_deadline_restructuring,
+    evaluate_load_shifting,
+)
+from .stress import StressTestHarness, StressTestResult
+
+__all__ = ["GreenDatacenterModel"]
+
+
+@dataclass
+class GreenDatacenterModel:
+    """One facility, one site, one grid — the paper's world in an object.
+
+    Attributes
+    ----------
+    experiment:
+        Seed and horizon configuration.
+    facility / site:
+        Hardware and location descriptions.
+    """
+
+    experiment: ExperimentConfig = field(default_factory=ExperimentConfig)
+    facility: FacilityConfig = field(default_factory=FacilityConfig)
+    site: SiteConfig = field(default_factory=SiteConfig)
+
+    def __post_init__(self) -> None:
+        self.calendar = SimulationCalendar(
+            start_year=self.experiment.start_year, n_months=self.experiment.n_months
+        )
+        self._scenario: Optional[SuperCloudScenario] = None
+
+    # ------------------------------------------------------------------
+    # Shared scenario
+    # ------------------------------------------------------------------
+    @property
+    def scenario(self) -> SuperCloudScenario:
+        """The shared SuperCloud-like scenario (built lazily, then cached)."""
+        if self._scenario is None:
+            self._scenario = SuperCloudScenario.build(
+                seed=self.experiment.seed,
+                start_year=self.experiment.start_year,
+                n_months=self.experiment.n_months,
+            )
+        return self._scenario
+
+    @property
+    def grid(self) -> IsoNeLikeGrid:
+        """The grid model behind the scenario."""
+        return self.scenario.grid
+
+    # ------------------------------------------------------------------
+    # Figures
+    # ------------------------------------------------------------------
+    def monthly_figures(self) -> Mapping[str, object]:
+        """The Fig. 2-5 results for this facility's scenario."""
+        scenario = self.scenario
+        results: dict[str, object] = {
+            "fig2": fig2_power_vs_green_share(scenario),
+            "fig3": fig3_price_vs_green_share(scenario),
+            "fig4": fig4_power_vs_temperature(scenario),
+        }
+        if self.calendar.n_months >= 16:
+            results["fig5"] = fig5_energy_vs_deadlines(scenario)
+        return results
+
+    # ------------------------------------------------------------------
+    # Section II.A — purchasing / shifting
+    # ------------------------------------------------------------------
+    def hourly_facility_load_kwh(self) -> np.ndarray:
+        """The facility's hourly energy profile in kWh (1-hour steps)."""
+        return self.scenario.load_trace.facility_power_w / 1e3
+
+    def opportunity_cost(
+        self, *, deferrable_fraction: float = 0.3, window_h: int = 24
+    ) -> OpportunityCostReport:
+        """Section II.A head-room: avoidable emissions and spend."""
+        return opportunity_cost_of_profile(
+            self.hourly_facility_load_kwh(),
+            self.grid,
+            deferrable_fraction=deferrable_fraction,
+            window_h=window_h,
+        )
+
+    def load_shifting(self, policy: LoadShiftingPolicy | None = None) -> ShiftingOutcome:
+        """Evaluate a carbon/price-aware load-shifting policy on this facility."""
+        return evaluate_load_shifting(
+            facility_load_kwh=self.hourly_facility_load_kwh(),
+            grid=self.grid,
+            policy=policy or LoadShiftingPolicy(),
+        )
+
+    # ------------------------------------------------------------------
+    # Section III — deadlines
+    # ------------------------------------------------------------------
+    def deadline_options(
+        self, options: Sequence[str] = ("actual", "uniform", "winter", "rolling")
+    ) -> dict[str, DeadlinePolicyOutcome]:
+        """Compare the deadline-restructuring options on this facility."""
+        return evaluate_deadline_restructuring(
+            options=options,
+            seed=self.experiment.seed,
+            start_year=self.experiment.start_year,
+            n_months=self.experiment.n_months,
+        )
+
+    # ------------------------------------------------------------------
+    # Section II.B — stress tests
+    # ------------------------------------------------------------------
+    def stress_tests(self) -> dict[str, StressTestResult]:
+        """Run the standard stress battery on this facility."""
+        harness = StressTestHarness(
+            start_year=self.experiment.start_year,
+            n_months=self.experiment.n_months,
+            seed=self.experiment.seed,
+            trace_config=SuperCloudTraceConfig(facility=self.facility),
+        )
+        return harness.run_battery()
+
+    # ------------------------------------------------------------------
+    # Eq. 1 — operations optimization on a job trace
+    # ------------------------------------------------------------------
+    def generate_job_trace(self, *, n_jobs: int = 300, horizon_h: float = 7 * 24.0) -> list[Job]:
+        """A SuperCloud-like job-level trace for scheduler experiments."""
+        generator = SuperCloudTraceGenerator(
+            SuperCloudTraceConfig(facility=self.facility),
+            demand_model=DeadlineDemandModel(seed=self.experiment.seed),
+            seed=self.experiment.seed,
+        )
+        return generator.generate_jobs(n_jobs=n_jobs, horizon_h=horizon_h)
+
+    def optimize_operations(
+        self,
+        jobs: Sequence[Job] | None = None,
+        *,
+        horizon_h: float = 7 * 24.0,
+        activity_floor_fraction: float = 0.9,
+        points: Sequence[OperatingPoint] | None = None,
+        objective_kind: ObjectiveKind = ObjectiveKind.FACILITY_ENERGY_KWH,
+    ) -> OptimizationOutcome:
+        """Run the Eq. 1 search on a job trace.
+
+        ``activity_floor_fraction`` sets α as a fraction of the baseline
+        (uncapped backfill) delivered GPU-hours, which is how an operator
+        would phrase "no more than a 10% hit to throughput".
+        """
+        trace = list(jobs) if jobs is not None else self.generate_job_trace(horizon_h=horizon_h)
+        weather = WeatherModel(seed=self.experiment.seed).hourly_temperature_c(self.calendar)
+        simulation_config = SimulationConfig(horizon_h=horizon_h, tick_h=1.0)
+
+        # Baseline run to set alpha.
+        baseline_optimizer = DatacenterOptimizer(
+            self.facility,
+            EnergyObjective(kind=objective_kind),
+            ActivityConstraint(kind=ActivityKind.DELIVERED_GPU_HOURS, alpha=0.0),
+            simulation_config=simulation_config,
+            weather_hourly_c=weather,
+            cooling=CoolingModel(),
+            grid=self.grid,
+        )
+        baseline_point = OperatingPoint(policy_name="backfill")
+        baseline_result = baseline_optimizer.evaluate_point(baseline_point, trace)
+        alpha = activity_floor_fraction * baseline_result.result.delivered_gpu_hours
+
+        optimizer = DatacenterOptimizer(
+            self.facility,
+            EnergyObjective(kind=objective_kind),
+            ActivityConstraint(kind=ActivityKind.DELIVERED_GPU_HOURS, alpha=alpha),
+            simulation_config=simulation_config,
+            weather_hourly_c=weather,
+            cooling=CoolingModel(),
+            grid=self.grid,
+            baseline_point=baseline_point,
+        )
+        return optimizer.optimize(trace, points=points)

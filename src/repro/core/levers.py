@@ -1,0 +1,143 @@
+"""The decision levers of Eq. 1 as an enumerable operating point.
+
+An :class:`OperatingPoint` fixes the three traditional levers the paper names:
+
+* ``q_s`` — the supplied resource quantity, expressed as the fraction of the
+  cluster's nodes kept in service (the rest are drained);
+* ``p`` — the scheduling policy, by name from :data:`SCHEDULER_REGISTRY`;
+* ``c`` — the control mechanism, here the GPU power-cap fraction applied by
+  the policy (``None`` = uncapped) and the facility power budget.
+
+The optimizer enumerates operating points (grid search is entirely adequate —
+the levers are low-dimensional and partly categorical, exactly why the paper
+frames this as an operational rather than algorithmic problem) and evaluates
+each on the cluster simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Optional, Sequence
+
+from ..errors import OptimizationError
+from ..scheduler.backfill import BackfillScheduler
+from ..scheduler.base import Scheduler
+from ..scheduler.carbon_aware import CarbonAwareScheduler
+from ..scheduler.deadline_aware import DeadlineAwareScheduler
+from ..scheduler.energy_aware import EnergyAwareScheduler
+from ..scheduler.fifo import FifoScheduler
+from ..scheduler.powercap import StaticPowerCapPolicy
+
+__all__ = ["OperatingPoint", "SCHEDULER_REGISTRY", "make_scheduler", "default_operating_grid"]
+
+
+def _make_fifo(cap: Optional[float]) -> Scheduler:
+    return FifoScheduler()
+
+
+def _make_backfill(cap: Optional[float]) -> Scheduler:
+    return BackfillScheduler()
+
+
+def _make_energy_aware(cap: Optional[float]) -> Scheduler:
+    policy = StaticPowerCapPolicy(cap_fraction=cap) if cap is not None else None
+    if policy is None:
+        return EnergyAwareScheduler(StaticPowerCapPolicy(cap_fraction=1.0))
+    return EnergyAwareScheduler(policy)
+
+
+def _make_carbon_aware(cap: Optional[float]) -> Scheduler:
+    policy = StaticPowerCapPolicy(cap_fraction=cap) if cap is not None else None
+    return CarbonAwareScheduler(policy)
+
+
+def _make_deadline_aware(cap: Optional[float]) -> Scheduler:
+    policy = StaticPowerCapPolicy(cap_fraction=cap) if cap is not None else None
+    return DeadlineAwareScheduler(policy)
+
+
+#: Scheduler factories by policy name.  Each factory takes the operating
+#: point's power-cap fraction (or ``None``) and returns a fresh scheduler.
+SCHEDULER_REGISTRY: Mapping[str, Callable[[Optional[float]], Scheduler]] = {
+    "fifo": _make_fifo,
+    "backfill": _make_backfill,
+    "energy-aware": _make_energy_aware,
+    "carbon-aware": _make_carbon_aware,
+    "deadline-aware": _make_deadline_aware,
+}
+
+
+def make_scheduler(policy_name: str, power_cap_fraction: Optional[float] = None) -> Scheduler:
+    """Instantiate a scheduler by registry name with the given power cap."""
+    if policy_name not in SCHEDULER_REGISTRY:
+        raise OptimizationError(
+            f"unknown scheduling policy {policy_name!r}; known: {sorted(SCHEDULER_REGISTRY)}"
+        )
+    if power_cap_fraction is not None and not 0.0 < power_cap_fraction <= 1.0:
+        raise OptimizationError("power_cap_fraction must lie in (0, 1]")
+    return SCHEDULER_REGISTRY[policy_name](power_cap_fraction)
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One candidate setting of the Eq. 1 levers.
+
+    Attributes
+    ----------
+    supply_fraction:
+        Fraction of the cluster's nodes kept in service (``q_s``).
+    policy_name:
+        Scheduling policy name (``p``).
+    power_cap_fraction:
+        GPU power-cap fraction applied by the policy (``c``); ``None`` means
+        no cap.
+    facility_power_budget_w:
+        Optional facility power ceiling handed to the scheduler (also ``c``).
+    """
+
+    supply_fraction: float = 1.0
+    policy_name: str = "backfill"
+    power_cap_fraction: Optional[float] = None
+    facility_power_budget_w: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.supply_fraction <= 1.0:
+            raise OptimizationError("supply_fraction must lie in (0, 1]")
+        if self.policy_name not in SCHEDULER_REGISTRY:
+            raise OptimizationError(
+                f"unknown scheduling policy {self.policy_name!r}; known: {sorted(SCHEDULER_REGISTRY)}"
+            )
+        if self.power_cap_fraction is not None and not 0.0 < self.power_cap_fraction <= 1.0:
+            raise OptimizationError("power_cap_fraction must lie in (0, 1]")
+        if self.facility_power_budget_w is not None and self.facility_power_budget_w <= 0:
+            raise OptimizationError("facility_power_budget_w must be positive when given")
+
+    def build_scheduler(self) -> Scheduler:
+        """A fresh scheduler configured for this operating point."""
+        return make_scheduler(self.policy_name, self.power_cap_fraction)
+
+    def label(self) -> str:
+        """Compact human-readable label for tables."""
+        cap = "uncapped" if self.power_cap_fraction is None else f"cap={self.power_cap_fraction:.0%}"
+        return f"{self.policy_name}/{cap}/supply={self.supply_fraction:.0%}"
+
+
+def default_operating_grid(
+    *,
+    supply_fractions: Sequence[float] = (1.0, 0.85),
+    policy_names: Sequence[str] = ("backfill", "energy-aware", "carbon-aware"),
+    power_cap_fractions: Sequence[Optional[float]] = (None, 0.75, 0.6),
+) -> list[OperatingPoint]:
+    """The default grid of operating points searched by the Eq. 1 benchmark."""
+    points = []
+    for supply in supply_fractions:
+        for policy in policy_names:
+            for cap in power_cap_fractions:
+                points.append(
+                    OperatingPoint(
+                        supply_fraction=supply,
+                        policy_name=policy,
+                        power_cap_fraction=cap,
+                    )
+                )
+    return points

@@ -1,0 +1,149 @@
+"""Objectives and constraints of the Eq. 1 optimization problem.
+
+Eq. 1 of the paper:
+
+    min_{q_s, p, c}  E(q_d, q_s, p, c, ε)    s.t.   A(q_d, q_s, p, c, ε) ≥ α
+
+The paper is deliberately agnostic about what ``E`` measures — "kilowatt-hours,
+power usage effectiveness (PUE), pounds of CO2 emitted, amount of water used in
+cooling", fiscal cost, or opportunity cost — and about how activity ``A`` is
+measured.  This module pins those choices down as explicit, swappable objects:
+
+* :class:`EnergyObjective` extracts one of the candidate ``E`` quantities from
+  a :class:`~repro.cluster.simulator.SimulationResult`.
+* :class:`ActivityConstraint` extracts an activity measure and checks it
+  against the floor ``α``.
+* :class:`ObjectiveEvaluation` bundles both for one operating point.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from ..cluster.simulator import SimulationResult
+from ..errors import OptimizationError
+
+__all__ = ["ObjectiveKind", "ActivityKind", "EnergyObjective", "ActivityConstraint", "ObjectiveEvaluation"]
+
+
+class ObjectiveKind(enum.Enum):
+    """The candidate ``E(·)`` quantities listed in Section II.A."""
+
+    FACILITY_ENERGY_KWH = "facility_energy_kwh"
+    IT_ENERGY_KWH = "it_energy_kwh"
+    EMISSIONS_KG = "emissions_kg"
+    COST_USD = "cost_usd"
+    AVERAGE_PUE = "average_pue"
+    PEAK_POWER_KW = "peak_power_kw"
+
+
+class ActivityKind(enum.Enum):
+    """Candidate activity/performance measures ``A(·)``."""
+
+    DELIVERED_GPU_HOURS = "delivered_gpu_hours"
+    COMPLETED_JOBS = "completed_jobs"
+    NEGATIVE_MEAN_WAIT_H = "negative_mean_wait_h"
+    ON_TIME_FRACTION = "on_time_fraction"
+
+
+_OBJECTIVE_EXTRACTORS: Mapping[ObjectiveKind, Callable[[SimulationResult], float]] = {
+    ObjectiveKind.FACILITY_ENERGY_KWH: lambda r: r.facility_energy_kwh,
+    ObjectiveKind.IT_ENERGY_KWH: lambda r: r.it_energy_kwh,
+    ObjectiveKind.EMISSIONS_KG: lambda r: r.total_emissions_kg,
+    ObjectiveKind.COST_USD: lambda r: r.total_cost_usd,
+    ObjectiveKind.AVERAGE_PUE: lambda r: r.average_pue,
+    ObjectiveKind.PEAK_POWER_KW: lambda r: r.peak_facility_power_w / 1e3,
+}
+
+
+_ACTIVITY_EXTRACTORS: Mapping[ActivityKind, Callable[[SimulationResult], float]] = {
+    ActivityKind.DELIVERED_GPU_HOURS: lambda r: r.delivered_gpu_hours,
+    ActivityKind.COMPLETED_JOBS: lambda r: float(r.completed_jobs),
+    ActivityKind.NEGATIVE_MEAN_WAIT_H: lambda r: -r.mean_wait_h,
+    ActivityKind.ON_TIME_FRACTION: lambda r: 1.0 - r.deadline_miss_rate,
+}
+
+
+@dataclass(frozen=True)
+class EnergyObjective:
+    """The quantity being minimised.
+
+    Attributes
+    ----------
+    kind:
+        Which of the Section II.A quantities to minimise.
+    weight_emissions / weight_cost:
+        Optional extra terms for blended objectives, expressed as a weight
+        per kg CO2e and per dollar added to the primary objective's value.
+        This lets an operator trade kWh against CO2e or dollars explicitly.
+    """
+
+    kind: ObjectiveKind = ObjectiveKind.FACILITY_ENERGY_KWH
+    weight_emissions: float = 0.0
+    weight_cost: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.weight_emissions < 0 or self.weight_cost < 0:
+            raise OptimizationError("objective weights must be non-negative")
+
+    def value(self, result: SimulationResult) -> float:
+        """Evaluate the (possibly blended) objective for one simulation result."""
+        base = _OBJECTIVE_EXTRACTORS[self.kind](result)
+        return (
+            base
+            + self.weight_emissions * result.total_emissions_kg
+            + self.weight_cost * result.total_cost_usd
+        )
+
+
+@dataclass(frozen=True)
+class ActivityConstraint:
+    """The ``A(·) ≥ α`` constraint.
+
+    Attributes
+    ----------
+    kind:
+        Which activity measure to use.
+    alpha:
+        The floor.  For :attr:`ActivityKind.NEGATIVE_MEAN_WAIT_H` the floor is
+        the negated maximum acceptable mean wait (e.g. ``alpha=-6`` means
+        "mean wait at most 6 hours").
+    """
+
+    kind: ActivityKind = ActivityKind.DELIVERED_GPU_HOURS
+    alpha: float = 0.0
+
+    def value(self, result: SimulationResult) -> float:
+        """The activity measure of one simulation result."""
+        return _ACTIVITY_EXTRACTORS[self.kind](result)
+
+    def satisfied(self, result: SimulationResult) -> bool:
+        """Whether the result meets the activity floor."""
+        return self.value(result) >= self.alpha - 1e-9
+
+
+@dataclass(frozen=True)
+class ObjectiveEvaluation:
+    """Objective and constraint values for one evaluated operating point."""
+
+    objective_value: float
+    activity_value: float
+    feasible: bool
+    summary: Mapping[str, float]
+
+    @classmethod
+    def from_result(
+        cls,
+        result: SimulationResult,
+        objective: EnergyObjective,
+        constraint: ActivityConstraint,
+    ) -> "ObjectiveEvaluation":
+        """Evaluate a simulation result under an objective and constraint."""
+        return cls(
+            objective_value=objective.value(result),
+            activity_value=constraint.value(result),
+            feasible=constraint.satisfied(result),
+            summary=result.summary(),
+        )

@@ -1,0 +1,268 @@
+"""Demand-side policies: carbon-aware load shifting and deadline restructuring.
+
+Two of the paper's proposals act on the *timing* of demand rather than on
+hardware:
+
+* **Load shifting** (Section II.A): move deferrable compute from hours when
+  the grid is dirty/expensive into hours when it is green/cheap.  The policy
+  here operates on the hourly facility-load profile: a configurable fraction
+  of each hour's load is deferrable within a bounded window, and the policy
+  re-times it toward the greenest (or cheapest) hours of that window.
+* **Deadline restructuring** (Section III): compare the status-quo conference
+  calendar against the paper's options (1) uniform spread, (2) winter/spring
+  concentration, (3) rolling submissions, holding the total yearly research
+  output fixed, and measure annual energy, emissions, cost, and peak power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..errors import OptimizationError
+from ..grid.iso_ne import IsoNeLikeGrid
+from ..timeutils import SimulationCalendar
+from ..workloads.conferences import ConferenceCalendar
+from ..workloads.demand import DeadlineDemandModel
+from ..workloads.supercloud import SuperCloudTraceGenerator
+from ..climate.weather import WeatherModel
+
+__all__ = [
+    "LoadShiftingPolicy",
+    "ShiftingOutcome",
+    "evaluate_load_shifting",
+    "DeadlinePolicyOutcome",
+    "evaluate_deadline_restructuring",
+]
+
+
+@dataclass(frozen=True)
+class LoadShiftingPolicy:
+    """Parameters of the carbon/price-aware load-shifting policy.
+
+    Attributes
+    ----------
+    deferrable_fraction:
+        Fraction of each hour's facility load that can be re-timed.
+    window_h:
+        Maximum number of hours a unit of load may be moved (forward or
+        backward) from its original hour.
+    signal:
+        ``"carbon"`` shifts toward low-carbon hours, ``"price"`` toward cheap
+        hours, ``"renewable"`` toward high-renewable hours.
+    """
+
+    deferrable_fraction: float = 0.3
+    window_h: int = 24
+    signal: str = "carbon"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.deferrable_fraction <= 1.0:
+            raise OptimizationError("deferrable_fraction must lie in [0, 1]")
+        if self.window_h < 1:
+            raise OptimizationError("window_h must be >= 1")
+        if self.signal not in ("carbon", "price", "renewable"):
+            raise OptimizationError("signal must be 'carbon', 'price' or 'renewable'")
+
+
+@dataclass(frozen=True)
+class ShiftingOutcome:
+    """Before/after comparison of a load-shifting policy."""
+
+    policy: LoadShiftingPolicy
+    baseline_emissions_kg: float
+    shifted_emissions_kg: float
+    baseline_cost_usd: float
+    shifted_cost_usd: float
+    baseline_energy_mwh: float
+    shifted_energy_mwh: float
+    peak_power_change_fraction: float
+
+    @property
+    def emissions_savings_fraction(self) -> float:
+        """Fractional emission reduction achieved by shifting."""
+        if self.baseline_emissions_kg == 0:
+            return 0.0
+        return 1.0 - self.shifted_emissions_kg / self.baseline_emissions_kg
+
+    @property
+    def cost_savings_fraction(self) -> float:
+        """Fractional cost reduction achieved by shifting."""
+        if self.baseline_cost_usd == 0:
+            return 0.0
+        return 1.0 - self.shifted_cost_usd / self.baseline_cost_usd
+
+    def summary(self) -> Mapping[str, float]:
+        """Flat record for tables."""
+        return {
+            "deferrable_fraction": self.policy.deferrable_fraction,
+            "window_h": float(self.policy.window_h),
+            "signal_is_price": float(self.policy.signal == "price"),
+            "emissions_savings_pct": 100.0 * self.emissions_savings_fraction,
+            "cost_savings_pct": 100.0 * self.cost_savings_fraction,
+            "baseline_emissions_t": self.baseline_emissions_kg / 1e3,
+            "shifted_emissions_t": self.shifted_emissions_kg / 1e3,
+            "peak_power_change_pct": 100.0 * self.peak_power_change_fraction,
+        }
+
+
+def _shift_load(
+    load_kwh: np.ndarray, signal: np.ndarray, policy: LoadShiftingPolicy
+) -> np.ndarray:
+    """Re-time the deferrable share of an hourly load profile.
+
+    Within every non-overlapping window of ``window_h`` hours, the deferrable
+    share of the window's load is pooled and re-allocated to the hours with
+    the *lowest* signal value (greedy water-filling up to a per-hour headroom
+    of twice the window's mean load).  Total energy is conserved exactly.
+    """
+    load = np.asarray(load_kwh, dtype=float)
+    sig = np.asarray(signal, dtype=float)
+    if load.shape != sig.shape:
+        raise OptimizationError("load and signal series must have equal shapes")
+    if np.any(load < 0):
+        raise OptimizationError("load must be non-negative")
+    shifted = load.copy()
+    n = load.shape[0]
+    window = policy.window_h
+    for start in range(0, n, window):
+        stop = min(start + window, n)
+        block_load = shifted[start:stop]
+        block_signal = sig[start:stop]
+        deferrable = block_load * policy.deferrable_fraction
+        pool = float(deferrable.sum())
+        if pool <= 0:
+            continue
+        remaining = block_load - deferrable
+        headroom_cap = 2.0 * float(block_load.mean())
+        order = np.argsort(block_signal)
+        reallocated = remaining.copy()
+        for index in order:
+            if pool <= 0:
+                break
+            capacity = max(headroom_cap - reallocated[index], 0.0)
+            take = min(capacity, pool)
+            reallocated[index] += take
+            pool -= take
+        if pool > 0:
+            # No headroom left: spread the remainder evenly (energy conservation).
+            reallocated += pool / reallocated.shape[0]
+        shifted[start:stop] = reallocated
+    return shifted
+
+
+def evaluate_load_shifting(
+    *,
+    facility_load_kwh: np.ndarray,
+    grid: IsoNeLikeGrid,
+    policy: LoadShiftingPolicy,
+) -> ShiftingOutcome:
+    """Apply a load-shifting policy against a grid and compare emissions/cost."""
+    load = np.asarray(facility_load_kwh, dtype=float)
+    carbon = grid.carbon_intensity_g_per_kwh
+    price = grid.price_per_mwh
+    renewable = grid.renewable_share
+    if load.shape != carbon.shape:
+        raise OptimizationError(
+            f"facility load ({load.shape}) must align with the grid's hourly series ({carbon.shape})"
+        )
+    signal = {"carbon": carbon, "price": price, "renewable": -renewable}[policy.signal]
+    shifted = _shift_load(load, signal, policy)
+
+    def emissions_kg(profile: np.ndarray) -> float:
+        return float(np.sum(profile * carbon) / 1e3)
+
+    def cost_usd(profile: np.ndarray) -> float:
+        return float(np.sum(profile / 1e3 * price))
+
+    baseline_peak = float(load.max()) if load.size else 0.0
+    shifted_peak = float(shifted.max()) if shifted.size else 0.0
+    peak_change = (shifted_peak - baseline_peak) / baseline_peak if baseline_peak > 0 else 0.0
+    return ShiftingOutcome(
+        policy=policy,
+        baseline_emissions_kg=emissions_kg(load),
+        shifted_emissions_kg=emissions_kg(shifted),
+        baseline_cost_usd=cost_usd(load),
+        shifted_cost_usd=cost_usd(shifted),
+        baseline_energy_mwh=float(load.sum() / 1e3),
+        shifted_energy_mwh=float(shifted.sum() / 1e3),
+        peak_power_change_fraction=peak_change,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Deadline restructuring (Section III options)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DeadlinePolicyOutcome:
+    """Annualised outcome of one deadline-calendar option."""
+
+    option: str
+    total_energy_mwh: float
+    total_emissions_t: float
+    total_cost_kusd: float
+    peak_monthly_power_kw: float
+    summer_energy_share: float
+
+    def summary(self) -> Mapping[str, float | str]:
+        """Flat record for tables."""
+        return {
+            "option": self.option,
+            "energy_mwh": self.total_energy_mwh,
+            "emissions_t": self.total_emissions_t,
+            "cost_kusd": self.total_cost_kusd,
+            "peak_monthly_power_kw": self.peak_monthly_power_kw,
+            "summer_energy_share": self.summer_energy_share,
+        }
+
+
+def evaluate_deadline_restructuring(
+    *,
+    options: Sequence[str] = ("actual", "uniform", "winter", "rolling"),
+    seed: int = 0,
+    start_year: int = 2020,
+    n_months: int = 24,
+    demand_model: Optional[DeadlineDemandModel] = None,
+) -> dict[str, DeadlinePolicyOutcome]:
+    """Evaluate the Section III deadline-calendar options on identical substrates.
+
+    Every option shares the same weather, grid and demand parameters; only the
+    conference calendar changes, so differences in energy/carbon/cost are
+    attributable to the deadline distribution alone.
+    """
+    calendar = SimulationCalendar(start_year=start_year, n_months=n_months)
+    weather = WeatherModel(seed=seed).hourly_temperature_c(calendar)
+    grid = IsoNeLikeGrid(calendar, seed=seed)
+    base_demand = demand_model or DeadlineDemandModel(seed=seed)
+    base_conferences = base_demand.conferences
+
+    outcomes: dict[str, DeadlinePolicyOutcome] = {}
+    for option in options:
+        if option == "actual":
+            conferences: ConferenceCalendar = base_conferences
+        else:
+            conferences = base_conferences.restructured(option)
+        demand = base_demand.with_calendar(conferences)
+        generator = SuperCloudTraceGenerator(demand_model=demand, seed=seed)
+        trace = generator.generate_load_trace(calendar, weather)
+
+        hourly_kwh = trace.facility_power_w / 1e3  # 1-hour steps -> kWh per hour
+        emissions_t = float(np.sum(hourly_kwh * grid.carbon_intensity_g_per_kwh) / 1e6)
+        cost_kusd = float(np.sum(hourly_kwh / 1e3 * grid.price_per_mwh) / 1e3)
+        months = calendar.month_of_year_array()
+        summer_mask = np.isin(months, (6, 7, 8))
+        summer_share = float(
+            trace.monthly_energy_mwh[summer_mask].sum() / trace.monthly_energy_mwh.sum()
+        )
+        outcomes[option] = DeadlinePolicyOutcome(
+            option=option,
+            total_energy_mwh=float(trace.monthly_energy_mwh.sum()),
+            total_emissions_t=emissions_t,
+            total_cost_kusd=cost_kusd,
+            peak_monthly_power_kw=float(trace.monthly_power_kw.max()),
+            summer_energy_share=summer_share,
+        )
+    return outcomes

@@ -1,0 +1,76 @@
+"""Exception hierarchy for the green-HPC reproduction toolkit.
+
+All library errors derive from :class:`GreenHPCError` so that callers can
+catch toolkit failures without also swallowing programming errors such as
+``TypeError`` raised by misuse of the standard library.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "GreenHPCError",
+    "ConfigurationError",
+    "UnitError",
+    "SimulationError",
+    "SchedulingError",
+    "ResourceError",
+    "TelemetryError",
+    "TrackingError",
+    "ForecastError",
+    "OptimizationError",
+    "MechanismError",
+    "DataError",
+]
+
+
+class GreenHPCError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(GreenHPCError, ValueError):
+    """Raised when a configuration object fails validation.
+
+    Inherits from :class:`ValueError` because invalid configuration is a
+    value problem; callers who validate inputs generically can keep catching
+    ``ValueError``.
+    """
+
+
+class UnitError(GreenHPCError, ValueError):
+    """Raised for invalid unit values or impossible conversions."""
+
+
+class SimulationError(GreenHPCError, RuntimeError):
+    """Raised when the discrete-event cluster simulation reaches an invalid state."""
+
+
+class SchedulingError(GreenHPCError, RuntimeError):
+    """Raised when a scheduler cannot produce a valid placement or violates invariants."""
+
+
+class ResourceError(GreenHPCError, RuntimeError):
+    """Raised for invalid resource requests or double allocation/release."""
+
+
+class TelemetryError(GreenHPCError, RuntimeError):
+    """Raised by the simulated NVML / power-sampling layer."""
+
+
+class TrackingError(GreenHPCError, RuntimeError):
+    """Raised by the energy/carbon tracking layer (e.g. stopping a tracker twice)."""
+
+
+class ForecastError(GreenHPCError, RuntimeError):
+    """Raised when a forecasting model is used before fitting or on malformed data."""
+
+
+class OptimizationError(GreenHPCError, RuntimeError):
+    """Raised when the Eq. 1 / Eq. 2 optimizers cannot find a feasible configuration."""
+
+
+class MechanismError(GreenHPCError, RuntimeError):
+    """Raised for invalid mechanism-design setups (e.g. empty menus, bad budgets)."""
+
+
+class DataError(GreenHPCError, ValueError):
+    """Raised when analysis-layer inputs are malformed (length mismatches, NaNs, ...)."""

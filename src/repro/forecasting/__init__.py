@@ -1,0 +1,42 @@
+"""Forecasting models supporting energy-aware decision making.
+
+Section II.C of the paper argues that "models that help forecast and relate
+energy prices, fuel mix, as well as energy expenditure to one another can
+provide significant support" for purchasing and scheduling decisions, and
+Section IV.C highlights DeepMind's 36-hour-ahead wind-power forecasts as a
+concrete success.  This package implements the forecasting stack with
+NumPy-only models:
+
+* :mod:`~repro.forecasting.features` — lag/seasonal feature construction;
+* :mod:`~repro.forecasting.linear` — ridge regression, autoregressive and
+  seasonal-naive/persistence models;
+* :mod:`~repro.forecasting.wind` — a synthetic wind farm plus the 36 h-ahead
+  forecasting task (CLAIM-WIND);
+* :mod:`~repro.forecasting.demand` — cluster demand / energy-price forecasting;
+* :mod:`~repro.forecasting.evaluation` — MAE/RMSE/MAPE/skill metrics and
+  backtesting.
+"""
+
+from .features import make_lag_matrix, make_seasonal_features, train_test_split_series
+from .linear import RidgeRegressor, AutoregressiveForecaster, PersistenceForecaster, SeasonalNaiveForecaster
+from .wind import WindFarmConfig, WindFarmSimulator, WindPowerForecaster
+from .demand import DemandForecaster, PriceForecaster
+from .evaluation import ForecastMetrics, evaluate_forecast, forecast_skill
+
+__all__ = [
+    "make_lag_matrix",
+    "make_seasonal_features",
+    "train_test_split_series",
+    "RidgeRegressor",
+    "AutoregressiveForecaster",
+    "PersistenceForecaster",
+    "SeasonalNaiveForecaster",
+    "WindFarmConfig",
+    "WindFarmSimulator",
+    "WindPowerForecaster",
+    "DemandForecaster",
+    "PriceForecaster",
+    "ForecastMetrics",
+    "evaluate_forecast",
+    "forecast_skill",
+]

@@ -1,0 +1,163 @@
+"""Cluster-demand and electricity-price forecasting.
+
+Section II.C: "models leveraging data on compute demand and usage (e.g.
+holidays, research deadlines) can help with scheduling, maintenance, etc."
+and models relating prices/fuel mix/expenditure support purchasing decisions.
+Both forecasters below are ridge models over lagged values, seasonal
+harmonics, and task-specific exogenous features:
+
+* :class:`DemandForecaster` — forecasts cluster occupancy; its exogenous
+  feature is the number of conference deadlines in the next N days, the
+  paper's own candidate predictor.
+* :class:`PriceForecaster` — forecasts hourly LMP from lags and the
+  renewable share (Fig. 3's relationship, used predictively).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ForecastError
+from .evaluation import ForecastMetrics, evaluate_forecast
+from .features import make_lag_matrix, make_seasonal_features
+from .linear import RidgeRegressor
+
+__all__ = ["DemandForecaster", "PriceForecaster"]
+
+
+class _ExogenousRidgeForecaster:
+    """Shared machinery: ridge over lags + seasonal harmonics + exogenous columns."""
+
+    def __init__(
+        self,
+        *,
+        lags: tuple[int, ...],
+        horizon: int,
+        seasonal_periods: tuple[float, ...],
+        alpha: float,
+    ) -> None:
+        if horizon < 1:
+            raise ForecastError("horizon must be >= 1")
+        if not lags or any(l < 1 for l in lags):
+            raise ForecastError("lags must be positive integers")
+        self.lags = tuple(int(l) for l in lags)
+        self.horizon = int(horizon)
+        self.seasonal_periods = tuple(seasonal_periods)
+        self.model = RidgeRegressor(alpha=alpha)
+
+    def _features(
+        self, series: np.ndarray, exogenous: Optional[np.ndarray]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        series = np.asarray(series, dtype=float)
+        n = series.shape[0]
+        t = np.arange(n, dtype=float)
+        seasonal = make_seasonal_features(t, self.seasonal_periods, include_bias=False)
+        exo_columns = seasonal if exogenous is None else np.column_stack(
+            [seasonal, np.asarray(exogenous, dtype=float).reshape(n, -1)]
+        )
+        return make_lag_matrix(series, self.lags, horizon=self.horizon, exogenous=exo_columns)
+
+    def fit(self, series: np.ndarray, exogenous: Optional[np.ndarray] = None) -> "_ExogenousRidgeForecaster":
+        """Fit on a historical series (plus optional exogenous columns aligned with it)."""
+        X, y = self._features(series, exogenous)
+        self.model.fit(X, y)
+        return self
+
+    def backtest(
+        self,
+        series: np.ndarray,
+        exogenous: Optional[np.ndarray] = None,
+        *,
+        test_fraction: float = 0.25,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Chronological backtest: fit on the head, predict the tail.
+
+        Returns (predictions, truth) aligned on the evaluation window.
+        """
+        series = np.asarray(series, dtype=float)
+        n = series.shape[0]
+        split = int(round(n * (1.0 - test_fraction)))
+        max_lag = max(self.lags)
+        if split <= max_lag + self.horizon:
+            raise ForecastError("series too short for the requested backtest")
+        exo = None if exogenous is None else np.asarray(exogenous, dtype=float)
+        self.fit(series[:split], None if exo is None else exo[:split])
+        # Build evaluation features over the full series, then keep rows whose
+        # *target* index falls in the test window.
+        X_all, y_all = self._features(series, exo)
+        first_t = max_lag
+        target_index = np.arange(first_t, n - self.horizon) + self.horizon - 1
+        mask = target_index >= split
+        if not np.any(mask):
+            raise ForecastError("no evaluation rows fall in the test window")
+        predictions = self.model.predict(X_all[mask])
+        return predictions, y_all[mask]
+
+    def evaluate(
+        self,
+        series: np.ndarray,
+        exogenous: Optional[np.ndarray] = None,
+        *,
+        test_fraction: float = 0.25,
+    ) -> ForecastMetrics:
+        """Backtest and summarise errors."""
+        predictions, truth = self.backtest(series, exogenous, test_fraction=test_fraction)
+        return evaluate_forecast(predictions, truth)
+
+
+class DemandForecaster(_ExogenousRidgeForecaster):
+    """Forecasts cluster occupancy ``horizon`` hours ahead.
+
+    Default features: the last few hours and the same hour yesterday/last
+    week, daily and weekly harmonics, plus the caller-supplied deadline-
+    pressure series (e.g. number of deadlines in the next 14 days).
+    """
+
+    def __init__(
+        self,
+        *,
+        horizon: int = 24,
+        lags: tuple[int, ...] = (1, 2, 3, 24, 168),
+        alpha: float = 1e-2,
+    ) -> None:
+        super().__init__(
+            lags=lags,
+            horizon=horizon,
+            seasonal_periods=(24.0, 168.0, 8760.0),
+            alpha=alpha,
+        )
+
+    @staticmethod
+    def deadline_pressure(
+        deadline_hours: list[tuple[str, float]], n_hours: int, *, window_days: float = 14.0
+    ) -> np.ndarray:
+        """Exogenous feature: number of deadlines within the next ``window_days``."""
+        if n_hours <= 0:
+            raise ForecastError("n_hours must be positive")
+        pressure = np.zeros(n_hours)
+        window_h = window_days * 24.0
+        hours = np.arange(n_hours, dtype=float)
+        for _name, deadline_hour in deadline_hours:
+            mask = (hours <= deadline_hour) & (hours > deadline_hour - window_h)
+            pressure[mask] += 1.0
+        return pressure
+
+
+class PriceForecaster(_ExogenousRidgeForecaster):
+    """Forecasts hourly LMP ``horizon`` hours ahead from lags + renewable share."""
+
+    def __init__(
+        self,
+        *,
+        horizon: int = 24,
+        lags: tuple[int, ...] = (1, 2, 24, 48, 168),
+        alpha: float = 1e-2,
+    ) -> None:
+        super().__init__(
+            lags=lags,
+            horizon=horizon,
+            seasonal_periods=(24.0, 168.0, 8760.0),
+            alpha=alpha,
+        )

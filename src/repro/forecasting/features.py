@@ -1,0 +1,108 @@
+"""Feature construction for time-series forecasting.
+
+All forecasters in this package are linear models over hand-built features:
+lagged values of the target, optional exogenous series (weather forecasts),
+and seasonal harmonics (daily/annual sine-cosine pairs).  Keeping feature
+construction in one place lets every model and test share the same, well-
+validated code path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import ForecastError
+
+__all__ = ["make_lag_matrix", "make_seasonal_features", "train_test_split_series"]
+
+
+def make_lag_matrix(
+    series: np.ndarray,
+    lags: Sequence[int],
+    *,
+    horizon: int = 1,
+    exogenous: Optional[np.ndarray] = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Build a (features, targets) pair for ``horizon``-step-ahead forecasting.
+
+    Row ``t`` of the feature matrix contains ``series[t - lag]`` for each lag,
+    plus (optionally) the exogenous values at the *target* time ``t + horizon - 1``
+    (exogenous regressors are assumed to be forecastable, e.g. weather
+    forecasts, as in the DeepMind wind setup).  The target is
+    ``series[t + horizon - 1]``.
+
+    Returns arrays of shape (n_samples, n_features) and (n_samples,).
+    """
+    y = np.asarray(series, dtype=float)
+    if y.ndim != 1:
+        raise ForecastError("series must be 1-D")
+    if horizon < 1:
+        raise ForecastError(f"horizon must be >= 1, got {horizon}")
+    lags = list(lags)
+    if not lags or any(lag < 1 for lag in lags):
+        raise ForecastError("lags must be a non-empty sequence of positive integers")
+    max_lag = max(lags)
+    n = y.shape[0]
+    if exogenous is not None:
+        exo = np.asarray(exogenous, dtype=float)
+        if exo.ndim == 1:
+            exo = exo[:, None]
+        if exo.shape[0] != n:
+            raise ForecastError("exogenous series must align with the target series")
+    else:
+        exo = None
+
+    first_t = max_lag  # first index whose lags all exist
+    last_t = n - horizon  # exclusive bound so that t + horizon - 1 <= n - 1
+    if last_t <= first_t:
+        raise ForecastError(
+            f"series too short ({n}) for max lag {max_lag} and horizon {horizon}"
+        )
+    rows = np.arange(first_t, last_t)
+    features = np.column_stack([y[rows - lag] for lag in lags])
+    if exo is not None:
+        features = np.column_stack([features, exo[rows + horizon - 1]])
+    targets = y[rows + horizon - 1]
+    return features, targets
+
+
+def make_seasonal_features(
+    t: np.ndarray, periods: Sequence[float], *, include_bias: bool = True
+) -> np.ndarray:
+    """Sine/cosine harmonics at the given periods evaluated at times ``t``.
+
+    ``periods`` are in the same unit as ``t`` (e.g. 24 and 8760 for daily and
+    annual cycles on an hourly index).
+    """
+    times = np.asarray(t, dtype=float)
+    if times.ndim != 1:
+        raise ForecastError("t must be 1-D")
+    if not periods or any(p <= 0 for p in periods):
+        raise ForecastError("periods must be a non-empty sequence of positive numbers")
+    columns = []
+    if include_bias:
+        columns.append(np.ones_like(times))
+    for period in periods:
+        angle = 2.0 * np.pi * times / period
+        columns.append(np.sin(angle))
+        columns.append(np.cos(angle))
+    return np.column_stack(columns)
+
+
+def train_test_split_series(
+    features: np.ndarray, targets: np.ndarray, *, test_fraction: float = 0.25
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Chronological train/test split (no shuffling — this is a time series)."""
+    X = np.asarray(features, dtype=float)
+    y = np.asarray(targets, dtype=float)
+    if X.shape[0] != y.shape[0]:
+        raise ForecastError("features and targets must have the same number of rows")
+    if not 0.0 < test_fraction < 1.0:
+        raise ForecastError("test_fraction must lie in (0, 1)")
+    n = X.shape[0]
+    split = int(round(n * (1.0 - test_fraction)))
+    if split < 1 or split >= n:
+        raise ForecastError("split produces an empty train or test set")
+    return X[:split], y[:split], X[split:], y[split:]

@@ -1,0 +1,60 @@
+"""Electric-grid substrate: fuel mix, carbon intensity, prices, storage, purchasing.
+
+The MIT SuperCloud draws power from the ISO New England grid; Figures 2 and 3
+of the paper relate the facility's monthly power draw and the grid's monthly
+locational marginal price (LMP) to the share of supplied energy generated
+from solar and wind.  This package provides a synthetic-but-calibrated model
+of that grid:
+
+* :class:`~repro.grid.fuel_mix.FuelMixModel` — hourly generation shares by
+  fuel (solar, wind, hydro, nuclear, natural gas, other), with the
+  New-England seasonality that makes spring the greenest season.
+* :class:`~repro.grid.carbon_intensity.CarbonIntensityModel` — converts a fuel
+  mix into gCO2e/kWh using standard per-fuel emission factors.
+* :class:`~repro.grid.pricing.LmpPriceModel` — an LMP price process whose
+  monthly averages are anti-correlated with the renewable share (Fig. 3) and
+  span the $20-50/MWh band the paper reports.
+* :class:`~repro.grid.storage.BatteryStorage` — a simple round-trip-efficiency
+  battery used by storage-backed purchasing strategies.
+* :mod:`~repro.grid.purchasing` — energy-purchasing strategies (baseline,
+  green-window, price-threshold, storage-backed) evaluated in the
+  carbon-aware-shifting benchmark.
+"""
+
+from .fuel_mix import FUEL_TYPES, FuelMixConfig, FuelMixModel, GenerationMix
+from .carbon_intensity import EMISSION_FACTORS_G_PER_KWH, CarbonIntensityModel
+from .pricing import LmpPriceConfig, LmpPriceModel
+from .storage import BatteryStorage, StorageConfig
+from .purchasing import (
+    PurchaseDecision,
+    PurchasingOutcome,
+    PurchasingStrategy,
+    BaselinePurchasing,
+    GreenWindowPurchasing,
+    PriceThresholdPurchasing,
+    StorageBackedPurchasing,
+    evaluate_purchasing_strategy,
+)
+from .iso_ne import IsoNeLikeGrid
+
+__all__ = [
+    "FUEL_TYPES",
+    "FuelMixConfig",
+    "FuelMixModel",
+    "GenerationMix",
+    "EMISSION_FACTORS_G_PER_KWH",
+    "CarbonIntensityModel",
+    "LmpPriceConfig",
+    "LmpPriceModel",
+    "BatteryStorage",
+    "StorageConfig",
+    "PurchaseDecision",
+    "PurchasingOutcome",
+    "PurchasingStrategy",
+    "BaselinePurchasing",
+    "GreenWindowPurchasing",
+    "PriceThresholdPurchasing",
+    "StorageBackedPurchasing",
+    "evaluate_purchasing_strategy",
+    "IsoNeLikeGrid",
+]

@@ -1,0 +1,339 @@
+"""Energy-purchasing strategies (Section II.A).
+
+The paper frames the timing of energy purchases as an *opportunity cost*
+problem: buying power in an hour when the grid's fuel mix is dirty forgoes
+the opportunity to buy the same energy later when it is greener (and, per
+Fig. 3, usually cheaper).  The strategies here decide, for every hour, how
+much energy to buy given the facility's demand, the grid state (renewable
+share, carbon intensity, price) and optionally a battery:
+
+* :class:`BaselinePurchasing` — buy exactly what is consumed, when it is
+  consumed (the status quo).
+* :class:`GreenWindowPurchasing` — over-purchase into storage when the
+  renewable share is above a threshold, discharge when it is below.
+* :class:`PriceThresholdPurchasing` — same, keyed on price quantiles rather
+  than renewable share (the purely financial strategy).
+* :class:`StorageBackedPurchasing` — a combined strategy that charges when
+  the hour is green *and* cheap and discharges in dirty, expensive hours.
+
+:func:`evaluate_purchasing_strategy` runs a strategy over aligned hourly
+series and reports total cost, total emissions, effective renewable share and
+storage losses, which is what the CLAIM-SHIFT benchmark tabulates.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import DataError
+from .storage import BatteryStorage
+
+__all__ = [
+    "GridHourState",
+    "PurchaseDecision",
+    "PurchasingOutcome",
+    "PurchasingStrategy",
+    "BaselinePurchasing",
+    "GreenWindowPurchasing",
+    "PriceThresholdPurchasing",
+    "StorageBackedPurchasing",
+    "evaluate_purchasing_strategy",
+]
+
+
+@dataclass(frozen=True)
+class GridHourState:
+    """The information a purchasing strategy sees for one hour."""
+
+    hour: float
+    demand_kwh: float
+    price_per_mwh: float
+    renewable_share: float
+    carbon_intensity_g_per_kwh: float
+
+
+@dataclass(frozen=True)
+class PurchaseDecision:
+    """A strategy's decision for one hour.
+
+    Attributes
+    ----------
+    grid_purchase_kwh:
+        Energy bought from the grid this hour (demand + any charging).
+    battery_charge_kwh:
+        Portion of the purchase routed into the battery.
+    battery_discharge_kwh:
+        Energy served from the battery instead of the grid.
+    """
+
+    grid_purchase_kwh: float
+    battery_charge_kwh: float = 0.0
+    battery_discharge_kwh: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.grid_purchase_kwh < 0 or self.battery_charge_kwh < 0 or self.battery_discharge_kwh < 0:
+            raise DataError("purchase decision quantities must be non-negative")
+
+
+@dataclass(frozen=True)
+class PurchasingOutcome:
+    """Aggregate result of running a purchasing strategy over a horizon."""
+
+    strategy_name: str
+    total_purchased_kwh: float
+    total_demand_kwh: float
+    total_cost_usd: float
+    total_emissions_g: float
+    weighted_renewable_share: float
+    storage_losses_kwh: float
+    hourly_purchases_kwh: np.ndarray
+
+    @property
+    def average_price_paid_per_mwh(self) -> float:
+        """Effective average price paid per MWh purchased."""
+        if self.total_purchased_kwh == 0:
+            return 0.0
+        return self.total_cost_usd / (self.total_purchased_kwh / 1e3)
+
+    @property
+    def emissions_per_kwh_demand(self) -> float:
+        """Emissions per kWh of *served* demand (gCO2e/kWh)."""
+        if self.total_demand_kwh == 0:
+            return 0.0
+        return self.total_emissions_g / self.total_demand_kwh
+
+
+class PurchasingStrategy(ABC):
+    """Interface for hour-by-hour purchasing strategies."""
+
+    #: Human-readable name used in benchmark tables.
+    name: str = "abstract"
+
+    def __init__(self, storage: Optional[BatteryStorage] = None) -> None:
+        self.storage = storage
+
+    def prepare(self, states: list[GridHourState]) -> None:
+        """Optional pre-pass over the whole horizon (e.g. to compute quantiles)."""
+
+    @abstractmethod
+    def decide(self, state: GridHourState) -> PurchaseDecision:
+        """Return the purchase decision for one hour."""
+
+
+class BaselinePurchasing(PurchasingStrategy):
+    """Buy exactly the demanded energy every hour (status quo)."""
+
+    name = "baseline"
+
+    def decide(self, state: GridHourState) -> PurchaseDecision:
+        return PurchaseDecision(grid_purchase_kwh=state.demand_kwh)
+
+
+class GreenWindowPurchasing(PurchasingStrategy):
+    """Charge storage when the renewable share is high, discharge when low.
+
+    Parameters
+    ----------
+    storage:
+        The battery used for shifting (required).
+    green_quantile:
+        Hours whose renewable share is above this quantile of the horizon are
+        treated as green (charge) hours.
+    dirty_quantile:
+        Hours below this quantile are dirty (discharge) hours.
+    charge_rate_fraction:
+        Fraction of the battery's max charge power used in green hours.
+    """
+
+    name = "green-window"
+
+    def __init__(
+        self,
+        storage: BatteryStorage,
+        *,
+        green_quantile: float = 0.7,
+        dirty_quantile: float = 0.3,
+        charge_rate_fraction: float = 1.0,
+    ) -> None:
+        super().__init__(storage)
+        if storage is None:
+            raise DataError("GreenWindowPurchasing requires a battery")
+        if not 0.0 <= dirty_quantile < green_quantile <= 1.0:
+            raise DataError("require 0 <= dirty_quantile < green_quantile <= 1")
+        if not 0.0 < charge_rate_fraction <= 1.0:
+            raise DataError("charge_rate_fraction must lie in (0, 1]")
+        self.green_quantile = green_quantile
+        self.dirty_quantile = dirty_quantile
+        self.charge_rate_fraction = charge_rate_fraction
+        self._green_threshold = np.inf
+        self._dirty_threshold = -np.inf
+
+    def prepare(self, states: list[GridHourState]) -> None:
+        shares = np.asarray([s.renewable_share for s in states], dtype=float)
+        if shares.size == 0:
+            raise DataError("cannot prepare strategy on an empty horizon")
+        self._green_threshold = float(np.quantile(shares, self.green_quantile))
+        self._dirty_threshold = float(np.quantile(shares, self.dirty_quantile))
+
+    def _signal(self, state: GridHourState) -> str:
+        if state.renewable_share >= self._green_threshold:
+            return "green"
+        if state.renewable_share <= self._dirty_threshold:
+            return "dirty"
+        return "neutral"
+
+    def decide(self, state: GridHourState) -> PurchaseDecision:
+        assert self.storage is not None
+        signal = self._signal(state)
+        if signal == "green":
+            offered = self.storage.config.max_charge_kw * self.charge_rate_fraction
+            charged = self.storage.charge(offered, duration_h=1.0)
+            self.storage.idle(0.0)
+            return PurchaseDecision(
+                grid_purchase_kwh=state.demand_kwh + charged,
+                battery_charge_kwh=charged,
+            )
+        if signal == "dirty":
+            discharged = self.storage.discharge(state.demand_kwh, duration_h=1.0)
+            return PurchaseDecision(
+                grid_purchase_kwh=state.demand_kwh - discharged,
+                battery_discharge_kwh=discharged,
+            )
+        self.storage.idle(1.0)
+        return PurchaseDecision(grid_purchase_kwh=state.demand_kwh)
+
+
+class PriceThresholdPurchasing(GreenWindowPurchasing):
+    """Charge when prices are low, discharge when prices are high.
+
+    Identical machinery to :class:`GreenWindowPurchasing`, but the signal is
+    the hourly price: cheap hours (below the ``dirty_quantile`` of prices...
+    i.e. the *low* quantile) trigger charging and expensive hours trigger
+    discharging.  Because price and renewable share are anti-correlated
+    (Fig. 3), this financially motivated strategy also reduces emissions —
+    one of the paper's central points.
+    """
+
+    name = "price-threshold"
+
+    def prepare(self, states: list[GridHourState]) -> None:
+        prices = np.asarray([s.price_per_mwh for s in states], dtype=float)
+        if prices.size == 0:
+            raise DataError("cannot prepare strategy on an empty horizon")
+        # Cheap hours are the charge window; expensive hours the discharge window.
+        self._cheap_threshold = float(np.quantile(prices, 1.0 - self.green_quantile))
+        self._expensive_threshold = float(np.quantile(prices, 1.0 - self.dirty_quantile))
+
+    def _signal(self, state: GridHourState) -> str:
+        if state.price_per_mwh <= self._cheap_threshold:
+            return "green"
+        if state.price_per_mwh >= self._expensive_threshold:
+            return "dirty"
+        return "neutral"
+
+
+class StorageBackedPurchasing(GreenWindowPurchasing):
+    """Charge only in hours that are both green and cheap; discharge in hours
+    that are both dirty and expensive.
+
+    The conjunction makes the strategy more conservative than either parent
+    signal alone: the battery cycles less, losing less energy to round-trip
+    inefficiency, at the cost of shifting less volume.
+    """
+
+    name = "storage-backed"
+
+    def prepare(self, states: list[GridHourState]) -> None:
+        shares = np.asarray([s.renewable_share for s in states], dtype=float)
+        prices = np.asarray([s.price_per_mwh for s in states], dtype=float)
+        if shares.size == 0:
+            raise DataError("cannot prepare strategy on an empty horizon")
+        self._green_threshold = float(np.quantile(shares, self.green_quantile))
+        self._dirty_threshold = float(np.quantile(shares, self.dirty_quantile))
+        self._cheap_threshold = float(np.quantile(prices, 1.0 - self.green_quantile))
+        self._expensive_threshold = float(np.quantile(prices, 1.0 - self.dirty_quantile))
+
+    def _signal(self, state: GridHourState) -> str:
+        green = state.renewable_share >= self._green_threshold
+        cheap = state.price_per_mwh <= self._cheap_threshold
+        dirty = state.renewable_share <= self._dirty_threshold
+        expensive = state.price_per_mwh >= self._expensive_threshold
+        if green and cheap:
+            return "green"
+        if dirty and expensive:
+            return "dirty"
+        return "neutral"
+
+
+def evaluate_purchasing_strategy(
+    strategy: PurchasingStrategy,
+    *,
+    hours: np.ndarray,
+    demand_kwh: np.ndarray,
+    prices_per_mwh: np.ndarray,
+    renewable_share: np.ndarray,
+    carbon_intensity_g_per_kwh: np.ndarray,
+) -> PurchasingOutcome:
+    """Run a purchasing strategy over aligned hourly series and aggregate results.
+
+    All series must have identical lengths.  Emissions are attributed to the
+    hour in which energy is *purchased* (grid accounting), so shifting
+    purchases into green hours reduces attributed emissions even though the
+    facility's consumption profile is unchanged.
+    """
+    arrays = {
+        "hours": np.asarray(hours, dtype=float),
+        "demand_kwh": np.asarray(demand_kwh, dtype=float),
+        "prices_per_mwh": np.asarray(prices_per_mwh, dtype=float),
+        "renewable_share": np.asarray(renewable_share, dtype=float),
+        "carbon_intensity_g_per_kwh": np.asarray(carbon_intensity_g_per_kwh, dtype=float),
+    }
+    lengths = {name: arr.shape for name, arr in arrays.items()}
+    if len(set(lengths.values())) != 1:
+        raise DataError(f"all hourly series must have the same shape, got {lengths}")
+    if np.any(arrays["demand_kwh"] < 0):
+        raise DataError("demand_kwh must be non-negative")
+
+    states = [
+        GridHourState(
+            hour=float(arrays["hours"][i]),
+            demand_kwh=float(arrays["demand_kwh"][i]),
+            price_per_mwh=float(arrays["prices_per_mwh"][i]),
+            renewable_share=float(arrays["renewable_share"][i]),
+            carbon_intensity_g_per_kwh=float(arrays["carbon_intensity_g_per_kwh"][i]),
+        )
+        for i in range(arrays["hours"].shape[0])
+    ]
+    if strategy.storage is not None:
+        strategy.storage.reset()
+    strategy.prepare(states)
+
+    purchases = np.zeros(len(states))
+    cost = 0.0
+    emissions = 0.0
+    renewable_weighted = 0.0
+    for i, state in enumerate(states):
+        decision = strategy.decide(state)
+        purchases[i] = decision.grid_purchase_kwh
+        cost += decision.grid_purchase_kwh / 1e3 * state.price_per_mwh
+        emissions += decision.grid_purchase_kwh * state.carbon_intensity_g_per_kwh
+        renewable_weighted += decision.grid_purchase_kwh * state.renewable_share
+
+    total_purchased = float(purchases.sum())
+    total_demand = float(arrays["demand_kwh"].sum())
+    weighted_share = renewable_weighted / total_purchased if total_purchased > 0 else 0.0
+    losses = strategy.storage.total_losses_kwh if strategy.storage is not None else 0.0
+    return PurchasingOutcome(
+        strategy_name=strategy.name,
+        total_purchased_kwh=total_purchased,
+        total_demand_kwh=total_demand,
+        total_cost_usd=float(cost),
+        total_emissions_g=float(emissions),
+        weighted_renewable_share=float(weighted_share),
+        storage_losses_kwh=float(losses),
+        hourly_purchases_kwh=purchases,
+    )

@@ -1,0 +1,20 @@
+"""Parallel parameter-sweep harness.
+
+Policy comparisons, power-cap sweeps and stress tests evaluate the same
+simulation at many parameter points; :mod:`~repro.parallel.sweep` runs those
+points across processes (falling back to serial execution for small sweeps or
+when requested), with deterministic per-task seeds derived from the master
+seed so results do not depend on worker scheduling.
+"""
+
+from .pool import map_parallel, ParallelConfig
+from .sweep import SweepPoint, SweepResult, ParameterSweep, grid_points
+
+__all__ = [
+    "map_parallel",
+    "ParallelConfig",
+    "SweepPoint",
+    "SweepResult",
+    "ParameterSweep",
+    "grid_points",
+]

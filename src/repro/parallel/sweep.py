@@ -1,0 +1,119 @@
+"""Parameter sweeps with reproducible per-point seeds.
+
+A sweep point is a dictionary of parameter values plus a derived seed; the
+sweep applies a user function to every point (optionally across processes)
+and collects ``(point, value)`` pairs.  Benchmarks use this for power-cap
+sweeps, deferrable-fraction ablations, and stress-scenario batteries.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from ..errors import ConfigurationError
+from ..rng import derive_seed
+from .pool import ParallelConfig, map_parallel
+
+__all__ = ["SweepPoint", "SweepResult", "grid_points", "ParameterSweep"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a parameter sweep.
+
+    Attributes
+    ----------
+    index:
+        Position of the point in the sweep (stable across runs).
+    params:
+        Parameter name -> value mapping for this point.
+    seed:
+        Seed derived from the sweep's master seed and the point index, to be
+        used for any randomness inside the evaluated function.
+    """
+
+    index: int
+    params: Mapping[str, Any]
+    seed: int
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All evaluated points of a sweep with their returned values."""
+
+    points: tuple[SweepPoint, ...]
+    values: tuple[Any, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.points) != len(self.values):
+            raise ConfigurationError("points and values must have the same length")
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def as_records(self) -> list[dict[str, Any]]:
+        """One flat record per point: parameters plus the value under ``"value"``."""
+        records = []
+        for point, value in zip(self.points, self.values):
+            record = dict(point.params)
+            record["value"] = value
+            records.append(record)
+        return records
+
+    def best(self, key: Callable[[Any], float], *, maximize: bool = False) -> tuple[SweepPoint, Any]:
+        """The point whose value minimises (or maximises) ``key(value)``."""
+        if not self.points:
+            raise ConfigurationError("cannot select the best point of an empty sweep")
+        scored = [(key(value), i) for i, value in enumerate(self.values)]
+        best_index = max(scored)[1] if maximize else min(scored)[1]
+        return self.points[best_index], self.values[best_index]
+
+
+def grid_points(grid: Mapping[str, Sequence[Any]], *, seed: int = 0) -> list[SweepPoint]:
+    """Cartesian-product sweep points from a parameter grid.
+
+    The iteration order (and therefore each point's index and seed) is the
+    product order of the grid as given, so runs are reproducible as long as
+    the grid definition does not change.
+    """
+    if not grid:
+        raise ConfigurationError("grid must contain at least one parameter")
+    names = list(grid.keys())
+    value_lists = [list(grid[name]) for name in names]
+    for name, values in zip(names, value_lists):
+        if not values:
+            raise ConfigurationError(f"parameter {name!r} has no values")
+    points = []
+    for index, combination in enumerate(itertools.product(*value_lists)):
+        params = dict(zip(names, combination))
+        points.append(SweepPoint(index=index, params=params, seed=derive_seed(seed, "sweep", index)))
+    return points
+
+
+@dataclass
+class ParameterSweep:
+    """Evaluates a function over sweep points, optionally in parallel.
+
+    Attributes
+    ----------
+    function:
+        Callable taking a :class:`SweepPoint` and returning any picklable value.
+    parallel:
+        Execution configuration (serial by default).
+    """
+
+    function: Callable[[SweepPoint], Any]
+    parallel: ParallelConfig = field(default_factory=ParallelConfig)
+
+    def run(self, points: Sequence[SweepPoint]) -> SweepResult:
+        """Evaluate every point and return the collected results."""
+        if not points:
+            raise ConfigurationError("sweep requires at least one point")
+        values = map_parallel(self.function, points, self.parallel)
+        return SweepResult(points=tuple(points), values=tuple(values))
+
+    def run_grid(self, grid: Mapping[str, Sequence[Any]], *, seed: int = 0) -> SweepResult:
+        """Convenience: build grid points and run them."""
+        return self.run(grid_points(grid, seed=seed))

@@ -1,0 +1,46 @@
+"""Scheduling & control: jobs, queues, scheduling policies and power caps.
+
+The scheduler is the ``p`` lever of Eq. 1 and the power-cap controller is part
+of the ``c`` lever.  The package provides:
+
+* :mod:`~repro.scheduler.job` — the :class:`Job` model (GPU count, duration,
+  deadline, deferability, power-cap assignment) and its lifecycle states.
+* :mod:`~repro.scheduler.queue` — FIFO job queues and the *segmented* queue
+  structure from Section II.C (per-profile queues with stated preferences).
+* :mod:`~repro.scheduler.base` — the :class:`Scheduler` interface and the
+  :class:`SchedulingContext` handed to policies (grid state, weather, budget).
+* Concrete policies: :class:`FifoScheduler`, :class:`BackfillScheduler`,
+  :class:`EnergyAwareScheduler`, :class:`CarbonAwareScheduler`,
+  :class:`DeadlineAwareScheduler`.
+* :mod:`~repro.scheduler.powercap` — static and adaptive GPU power-cap
+  controllers (the mechanism shown effective by Frey et al. [15]).
+"""
+
+from .job import Job, JobState
+from .queue import JobQueue, QueuePolicy, SegmentedQueueSystem
+from .base import Scheduler, SchedulingContext, ScheduleDecision
+from .fifo import FifoScheduler
+from .backfill import BackfillScheduler
+from .energy_aware import EnergyAwareScheduler
+from .carbon_aware import CarbonAwareScheduler
+from .deadline_aware import DeadlineAwareScheduler
+from .powercap import StaticPowerCapPolicy, AdaptivePowerCapController, powercap_energy_tradeoff
+
+__all__ = [
+    "Job",
+    "JobState",
+    "JobQueue",
+    "QueuePolicy",
+    "SegmentedQueueSystem",
+    "Scheduler",
+    "SchedulingContext",
+    "ScheduleDecision",
+    "FifoScheduler",
+    "BackfillScheduler",
+    "EnergyAwareScheduler",
+    "CarbonAwareScheduler",
+    "DeadlineAwareScheduler",
+    "StaticPowerCapPolicy",
+    "AdaptivePowerCapController",
+    "powercap_energy_tradeoff",
+]

@@ -1,0 +1,29 @@
+"""Backfill scheduling (the standard HPC baseline).
+
+A simplified EASY-style backfill: jobs are considered in submission order,
+and when the head job does not fit, later jobs that do fit are allowed to
+start.  Reservation bookkeeping (guaranteeing the head job a future start
+time) is deliberately omitted — at the granularity of this simulator it does
+not change the energy picture, which is what the paper's comparisons are
+about.
+"""
+
+from __future__ import annotations
+
+from ..cluster.resources import Cluster
+from .base import ScheduleDecision, Scheduler, SchedulingContext
+from .job import Job
+
+__all__ = ["BackfillScheduler"]
+
+
+class BackfillScheduler(Scheduler):
+    """FIFO order with backfilling around blocked head-of-line jobs."""
+
+    name = "backfill"
+
+    def select(
+        self, pending: list[Job], cluster: Cluster, context: SchedulingContext
+    ) -> list[ScheduleDecision]:
+        ordered = sorted(pending, key=lambda j: (j.submit_time_h, j.job_id))
+        return self._greedy_fill(ordered, cluster.n_free_gpus, stop_at_first_blocked=False)

@@ -1,0 +1,91 @@
+"""Deadline-aware (earliest-deadline-first) scheduling.
+
+Section III observes that research activity — and therefore compute demand —
+clusters ahead of conference deadlines.  A deadline-aware policy makes that
+information explicit: jobs carrying deadlines are ordered earliest-deadline-
+first, jobs without deadlines fill in behind them, and deferrable jobs may
+additionally be pushed into green hours as long as their deadline slack
+allows it (combining Sections II.A and III).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..cluster.resources import Cluster
+from .base import ScheduleDecision, Scheduler, SchedulingContext
+from .job import Job
+from .powercap import StaticPowerCapPolicy
+
+__all__ = ["DeadlineAwareScheduler"]
+
+
+class DeadlineAwareScheduler(Scheduler):
+    """EDF ordering with optional carbon-aware use of deadline slack.
+
+    Parameters
+    ----------
+    power_cap_policy:
+        Optional static power-cap policy for started jobs.
+    use_slack_for_carbon:
+        When true, jobs whose deadline slack exceeds ``slack_margin_h`` are
+        deferred during dirty hours even if they are not explicitly marked
+        deferrable — the deadline itself bounds the deferral.
+    slack_margin_h:
+        Safety margin kept between the latest feasible start and the start
+        the scheduler is willing to delay to.
+    """
+
+    name = "deadline-aware"
+
+    def __init__(
+        self,
+        power_cap_policy: Optional[StaticPowerCapPolicy] = None,
+        *,
+        use_slack_for_carbon: bool = True,
+        slack_margin_h: float = 2.0,
+    ) -> None:
+        self.power_cap_policy = power_cap_policy
+        self.use_slack_for_carbon = bool(use_slack_for_carbon)
+        if slack_margin_h < 0:
+            raise ValueError(f"slack_margin_h must be non-negative, got {slack_margin_h!r}")
+        self.slack_margin_h = float(slack_margin_h)
+
+    def _cap_for(self, job: Job) -> Optional[float]:
+        if self.power_cap_policy is None:
+            return job.power_cap_fraction
+        return self.power_cap_policy.cap_for(job)
+
+    def _sort_key(self, job: Job) -> tuple:
+        deadline = job.deadline_h if job.deadline_h is not None else float("inf")
+        return (deadline, job.submit_time_h, job.job_id)
+
+    def _may_start_now(self, job: Job, context: SchedulingContext) -> bool:
+        if context.is_green_hour() or not self.use_slack_for_carbon:
+            return True
+        if job.deadline_h is None:
+            # No deadline: fall back to the explicit deferability contract.
+            if job.deferrable:
+                return context.now_h >= job.must_start_by() - 1e-9
+            return True
+        latest_start = job.latest_start_for_deadline(slowdown_factor=1.0)
+        if latest_start is None:
+            return True
+        return context.now_h >= latest_start - self.slack_margin_h - 1e-9
+
+    def select(
+        self, pending: list[Job], cluster: Cluster, context: SchedulingContext
+    ) -> list[ScheduleDecision]:
+        ordered = sorted(pending, key=self._sort_key)
+        decisions: list[ScheduleDecision] = []
+        remaining = cluster.n_free_gpus
+        for job in ordered:
+            if job.n_gpus > remaining:
+                continue
+            if not self._may_start_now(job, context):
+                continue
+            decisions.append(
+                ScheduleDecision(job=job, power_cap_fraction=self._cap_for(job), pack=True)
+            )
+            remaining -= job.n_gpus
+        return decisions

@@ -1,0 +1,83 @@
+"""Energy-aware scheduling.
+
+Combines the two system-side energy levers the paper describes as cheap and
+effective (Section II): GPU power caps and node packing, plus an optional
+facility power budget under which the scheduler simply refuses to start more
+work (the activity constraint α decides how far that can be pushed — the
+Eq. 1 optimizer explores exactly that trade-off).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..cluster.resources import Cluster
+from ..errors import SchedulingError
+from .base import ScheduleDecision, Scheduler, SchedulingContext
+from .job import Job
+from .powercap import StaticPowerCapPolicy
+
+__all__ = ["EnergyAwareScheduler"]
+
+
+class EnergyAwareScheduler(Scheduler):
+    """Backfill with power caps, node packing and an optional power budget.
+
+    Parameters
+    ----------
+    power_cap_policy:
+        The static cap policy applied to started jobs (default 75% of TDP,
+        urgent queue exempt).
+    respect_power_budget:
+        When true and the context carries ``facility_power_budget_w``, the
+        scheduler estimates the IT power each start would add and stops
+        starting jobs once the budget would be exceeded.
+    """
+
+    name = "energy-aware"
+
+    def __init__(
+        self,
+        power_cap_policy: Optional[StaticPowerCapPolicy] = None,
+        *,
+        respect_power_budget: bool = True,
+    ) -> None:
+        self.power_cap_policy = power_cap_policy or StaticPowerCapPolicy()
+        self.respect_power_budget = bool(respect_power_budget)
+
+    def _estimated_job_power_w(self, job: Job, cluster: Cluster, cap_fraction: Optional[float]) -> float:
+        """Rough per-job IT power estimate used for budget checks."""
+        spec = cluster.gpu_spec
+        cap_w = None if cap_fraction is None else cap_fraction * spec.tdp_w
+        gpu_power = float(cluster.gpu_power_model.power_w(job.utilization, cap_w))
+        # Charge a share of node overhead proportional to the fraction of a node used.
+        node_share = min(1.0, job.n_gpus / cluster.facility.gpus_per_node)
+        return job.n_gpus * gpu_power + node_share * cluster.facility.node_active_overhead_w
+
+    def select(
+        self, pending: list[Job], cluster: Cluster, context: SchedulingContext
+    ) -> list[ScheduleDecision]:
+        ordered = sorted(pending, key=lambda j: (j.submit_time_h, j.job_id))
+        decisions: list[ScheduleDecision] = []
+        remaining_gpus = cluster.n_free_gpus
+
+        budget = context.facility_power_budget_w if self.respect_power_budget else None
+        if budget is not None and context.current_pue > 0:
+            # Convert the facility budget into an IT budget at the current PUE.
+            it_budget = budget / context.current_pue
+        else:
+            it_budget = None
+        projected_it_power = context.current_it_power_w
+
+        for job in ordered:
+            if job.n_gpus > remaining_gpus:
+                continue  # backfill around blocked jobs
+            cap = self.power_cap_policy.cap_for(job)
+            if it_budget is not None:
+                added = self._estimated_job_power_w(job, cluster, cap)
+                if projected_it_power + added > it_budget:
+                    continue
+                projected_it_power += added
+            decisions.append(ScheduleDecision(job=job, power_cap_fraction=cap, pack=True))
+            remaining_gpus -= job.n_gpus
+        return decisions

@@ -1,0 +1,27 @@
+"""Strict first-in-first-out scheduling (the naive baseline)."""
+
+from __future__ import annotations
+
+from ..cluster.resources import Cluster
+from .base import ScheduleDecision, Scheduler, SchedulingContext
+from .job import Job
+
+__all__ = ["FifoScheduler"]
+
+
+class FifoScheduler(Scheduler):
+    """Start jobs strictly in submission order.
+
+    If the job at the head of the queue does not fit in the free GPUs, nothing
+    behind it starts either — the classic head-of-line blocking that backfill
+    exists to fix.  Kept as the simplest baseline for the scheduler-comparison
+    ablation.
+    """
+
+    name = "fifo"
+
+    def select(
+        self, pending: list[Job], cluster: Cluster, context: SchedulingContext
+    ) -> list[ScheduleDecision]:
+        ordered = sorted(pending, key=lambda j: (j.submit_time_h, j.job_id))
+        return self._greedy_fill(ordered, cluster.n_free_gpus, stop_at_first_blocked=True)

@@ -1,0 +1,48 @@
+"""Simulated hardware telemetry: GPU/CPU power models and power sampling.
+
+The paper's measurement story ("needs a GPU, nvidia-smi power hooks")
+is reproduced here with a simulated NVML layer.  The public surface mirrors
+how real NVML-based tooling (nvidia-smi, Zeus, CodeCarbon) is used:
+
+* :class:`~repro.telemetry.gpu_power.GpuPowerModel` — analytic power draw as a
+  function of utilization, power cap, and clocks, calibrated to published
+  V100/A100 envelopes.
+* :class:`~repro.telemetry.nvml_sim.SimulatedNvml` — a device-handle API
+  (``device_count``, ``get_handle``, ``power_usage_w``, ``set_power_limit_w``,
+  ``utilization``) that higher layers poll exactly as they would poll NVML.
+* :class:`~repro.telemetry.sampler.PowerSampler` — periodic polling and
+  trapezoidal energy integration.
+* :mod:`~repro.telemetry.metrics` — PUE and related facility metrics.
+"""
+
+from .gpu_power import GpuSpec, GpuPowerModel, KNOWN_GPUS, get_gpu_spec
+from .cpu_power import CpuSpec, CpuPowerModel, KNOWN_CPUS, get_cpu_spec
+from .nvml_sim import SimulatedGpuDevice, SimulatedNvml, NvmlNotInitializedError
+from .sampler import PowerSample, PowerSampler, EnergyIntegrator
+from .metrics import (
+    power_usage_effectiveness,
+    carbon_usage_effectiveness,
+    energy_reuse_effectiveness,
+    it_power_from_facility,
+)
+
+__all__ = [
+    "GpuSpec",
+    "GpuPowerModel",
+    "KNOWN_GPUS",
+    "get_gpu_spec",
+    "CpuSpec",
+    "CpuPowerModel",
+    "KNOWN_CPUS",
+    "get_cpu_spec",
+    "SimulatedGpuDevice",
+    "SimulatedNvml",
+    "NvmlNotInitializedError",
+    "PowerSample",
+    "PowerSampler",
+    "EnergyIntegrator",
+    "power_usage_effectiveness",
+    "carbon_usage_effectiveness",
+    "energy_reuse_effectiveness",
+    "it_power_from_facility",
+]

@@ -1,0 +1,128 @@
+"""Host CPU package power model (RAPL-like).
+
+GPU nodes also burn power in CPUs, memory, fans and NICs.  Real deployments
+read these through RAPL counters or BMC telemetry; the simulated equivalent
+is a small affine model of package power versus load with an optional
+memory term.  The energy tracker combines this with the simulated NVML GPU
+readings to produce node-level measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Union
+
+import numpy as np
+
+from ..config import require_positive
+from ..errors import ConfigurationError, TelemetryError
+
+__all__ = ["CpuSpec", "CpuPowerModel", "KNOWN_CPUS", "get_cpu_spec"]
+
+ArrayLike = Union[float, np.ndarray]
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Static description of a host CPU package.
+
+    Attributes
+    ----------
+    name:
+        Model name.
+    tdp_w:
+        Package TDP in watts.
+    idle_power_w:
+        Package power at idle.
+    n_cores:
+        Physical core count (both sockets combined for dual-socket nodes).
+    dram_power_per_gb_w:
+        Approximate DRAM power per GB at full refresh/activity.
+    """
+
+    name: str
+    tdp_w: float
+    idle_power_w: float
+    n_cores: int
+    dram_power_per_gb_w: float = 0.375
+
+    def __post_init__(self) -> None:
+        require_positive(self.tdp_w, "tdp_w")
+        if self.idle_power_w < 0 or self.idle_power_w >= self.tdp_w:
+            raise ConfigurationError(
+                f"idle_power_w must lie in [0, tdp_w), got {self.idle_power_w!r}"
+            )
+        if self.n_cores <= 0:
+            raise ConfigurationError(f"n_cores must be positive, got {self.n_cores!r}")
+        if self.dram_power_per_gb_w < 0:
+            raise ConfigurationError("dram_power_per_gb_w must be non-negative")
+
+
+#: CPUs typical of GPU nodes in the SuperCloud era (dual-socket Xeon) plus a
+#: smaller part for edge/inference scenarios.
+KNOWN_CPUS: Mapping[str, CpuSpec] = {
+    "XEON-8260": CpuSpec(name="XEON-8260", tdp_w=2 * 165.0, idle_power_w=2 * 42.0, n_cores=48),
+    "XEON-6248": CpuSpec(name="XEON-6248", tdp_w=2 * 150.0, idle_power_w=2 * 40.0, n_cores=40),
+    "EPYC-7763": CpuSpec(name="EPYC-7763", tdp_w=2 * 280.0, idle_power_w=2 * 65.0, n_cores=128),
+    "XEON-D-2183": CpuSpec(name="XEON-D-2183", tdp_w=100.0, idle_power_w=22.0, n_cores=16),
+}
+
+
+def get_cpu_spec(name: str) -> CpuSpec:
+    """Look up a known CPU spec by (case-insensitive) name."""
+    key = name.strip().upper()
+    for spec_name, spec in KNOWN_CPUS.items():
+        if spec_name.upper() == key:
+            return spec
+    raise TelemetryError(
+        f"unknown CPU model {name!r}; known models: {sorted(KNOWN_CPUS)}"
+    )
+
+
+class CpuPowerModel:
+    """Affine package-power model: idle + (TDP - idle) * load**exponent.
+
+    Parameters
+    ----------
+    spec:
+        CPU package description.
+    load_exponent:
+        Curvature of the power-vs-load response; values slightly above 1.0
+        reflect turbo behaviour where the last cores are disproportionately
+        expensive.
+    """
+
+    def __init__(self, spec: CpuSpec, *, load_exponent: float = 1.08) -> None:
+        require_positive(load_exponent, "load_exponent")
+        self.spec = spec
+        self.load_exponent = float(load_exponent)
+
+    def power_w(self, load: ArrayLike, dram_gb_active: ArrayLike = 0.0) -> ArrayLike:
+        """Package (+ DRAM) power at the given load fraction in [0, 1]."""
+        load_arr = np.clip(np.asarray(load, dtype=float), 0.0, 1.0)
+        dram = np.asarray(dram_gb_active, dtype=float)
+        if np.any(dram < 0):
+            raise TelemetryError("dram_gb_active must be non-negative")
+        dynamic = self.spec.tdp_w - self.spec.idle_power_w
+        return (
+            self.spec.idle_power_w
+            + dynamic * load_arr**self.load_exponent
+            + dram * self.spec.dram_power_per_gb_w
+        )
+
+    def energy_j(self, load: ArrayLike, duration_s: ArrayLike, dram_gb_active: ArrayLike = 0.0) -> ArrayLike:
+        """Energy in joules for a constant load over ``duration_s`` seconds."""
+        duration = np.asarray(duration_s, dtype=float)
+        if np.any(duration < 0):
+            raise TelemetryError("duration_s must be non-negative")
+        return self.power_w(load, dram_gb_active) * duration
+
+    def load_for_power(self, power_w: ArrayLike) -> ArrayLike:
+        """Invert the (DRAM-free) power model; clipped into [0, 1]."""
+        power = np.asarray(power_w, dtype=float)
+        dynamic = self.spec.tdp_w - self.spec.idle_power_w
+        frac = np.clip((power - self.spec.idle_power_w) / dynamic, 0.0, 1.0)
+        return frac ** (1.0 / self.load_exponent)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CpuPowerModel(spec={self.spec.name!r})"

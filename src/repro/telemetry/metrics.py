@@ -1,0 +1,101 @@
+"""Facility-level efficiency metrics.
+
+Section II.A of the paper lists the candidate quantities an operator might
+minimize: kilowatt-hours, power usage effectiveness (PUE), CO2 emitted,
+cooling water, dollar cost.  This module implements the standard facility
+metrics so that the objective layer (Eq. 1) can expose each of them as an
+interchangeable objective.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..errors import DataError
+
+__all__ = [
+    "power_usage_effectiveness",
+    "it_power_from_facility",
+    "carbon_usage_effectiveness",
+    "energy_reuse_effectiveness",
+    "water_usage_effectiveness",
+]
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def power_usage_effectiveness(facility_power_w: ArrayLike, it_power_w: ArrayLike) -> ArrayLike:
+    """PUE = total facility power / IT power.
+
+    Values below 1.0 are physically impossible and indicate inconsistent
+    inputs, so they raise :class:`DataError` rather than being returned.
+    """
+    facility = np.asarray(facility_power_w, dtype=float)
+    it = np.asarray(it_power_w, dtype=float)
+    if np.any(it <= 0):
+        raise DataError("it_power_w must be strictly positive to compute PUE")
+    pue = facility / it
+    if np.any(pue < 1.0 - 1e-9):
+        raise DataError(
+            "facility power below IT power; PUE < 1 is impossible — check inputs"
+        )
+    return pue
+
+
+def it_power_from_facility(facility_power_w: ArrayLike, pue: ArrayLike) -> ArrayLike:
+    """Back out IT power from facility power and PUE."""
+    pue_arr = np.asarray(pue, dtype=float)
+    if np.any(pue_arr < 1.0):
+        raise DataError(f"PUE must be >= 1.0, got {pue!r}")
+    return np.asarray(facility_power_w, dtype=float) / pue_arr
+
+
+def carbon_usage_effectiveness(
+    total_co2_g: ArrayLike, it_energy_kwh: ArrayLike
+) -> ArrayLike:
+    """CUE = total CO2e emissions (g) / IT energy (kWh), i.e. gCO2e per IT kWh."""
+    it = np.asarray(it_energy_kwh, dtype=float)
+    if np.any(it <= 0):
+        raise DataError("it_energy_kwh must be strictly positive to compute CUE")
+    co2 = np.asarray(total_co2_g, dtype=float)
+    if np.any(co2 < 0):
+        raise DataError("total_co2_g must be non-negative")
+    return co2 / it
+
+
+def energy_reuse_effectiveness(
+    facility_energy_j: ArrayLike, reused_energy_j: ArrayLike, it_energy_j: ArrayLike
+) -> ArrayLike:
+    """ERE = (facility energy - reused energy) / IT energy.
+
+    Facilities that export waste heat (district heating etc.) can push ERE
+    below 1.0, unlike PUE.
+    """
+    it = np.asarray(it_energy_j, dtype=float)
+    if np.any(it <= 0):
+        raise DataError("it_energy_j must be strictly positive to compute ERE")
+    facility = np.asarray(facility_energy_j, dtype=float)
+    reused = np.asarray(reused_energy_j, dtype=float)
+    if np.any(reused < 0):
+        raise DataError("reused_energy_j must be non-negative")
+    if np.any(reused > facility):
+        raise DataError("reused energy cannot exceed facility energy")
+    return (facility - reused) / it
+
+
+def water_usage_effectiveness(water_liters: ArrayLike, it_energy_kwh: ArrayLike) -> ArrayLike:
+    """WUE = cooling water used (liters) / IT energy (kWh).
+
+    The paper highlights the often-overlooked water footprint of datacenters
+    (20% of server water drawn from stressed watersheds); the cooling model
+    reports liters which this converts into the standard WUE metric.
+    """
+    it = np.asarray(it_energy_kwh, dtype=float)
+    if np.any(it <= 0):
+        raise DataError("it_energy_kwh must be strictly positive to compute WUE")
+    water = np.asarray(water_liters, dtype=float)
+    if np.any(water < 0):
+        raise DataError("water_liters must be non-negative")
+    return water / it

@@ -1,0 +1,200 @@
+"""Embodied-carbon accounting for AI hardware.
+
+The paper's introduction points out that "embodied carbon costs such as those
+associated with manufacturing hardware for A.I. development and applications
+also matter, especially as hardware continues to advance" — i.e. the
+environmental footprint of A.I. is not just the electricity of the
+datacenter, but also the manufacturing emissions baked into every GPU, server
+and rack before the first kernel runs.
+
+This module provides the standard amortization accounting used in life-cycle
+assessments (and adopted by the Sustainable-AI literature the paper cites):
+each hardware component carries a manufacturing footprint (kgCO2e) and a
+service lifetime; usage is charged the footprint pro-rata to the fraction of
+the lifetime consumed.  Combining the amortized embodied carbon with the
+operational carbon from :mod:`repro.tracking.emissions` yields the total
+footprint of a training run or a serving deployment — and shows when embodied
+carbon dominates (short jobs on many devices, or very clean grids).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..config import require_non_negative, require_positive
+from ..errors import TrackingError
+from ..units import joules_to_kwh
+
+__all__ = [
+    "HardwareFootprint",
+    "HARDWARE_FOOTPRINTS",
+    "EmbodiedCarbonModel",
+    "TotalFootprint",
+]
+
+
+@dataclass(frozen=True)
+class HardwareFootprint:
+    """Manufacturing footprint and service life of one hardware component.
+
+    Attributes
+    ----------
+    name:
+        Component name (GPU model, server chassis, ...).
+    manufacturing_kg_co2e:
+        Cradle-to-gate manufacturing emissions.
+    lifetime_years:
+        Expected service life over which the footprint is amortized.
+    typical_utilization:
+        Fraction of wall-clock time the component is expected to be doing
+        useful work over its life; amortization per *useful* hour divides by
+        this (idle hardware still ages).
+    """
+
+    name: str
+    manufacturing_kg_co2e: float
+    lifetime_years: float = 4.0
+    typical_utilization: float = 0.6
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.manufacturing_kg_co2e, "manufacturing_kg_co2e")
+        require_positive(self.lifetime_years, "lifetime_years")
+        if not 0.0 < self.typical_utilization <= 1.0:
+            raise TrackingError("typical_utilization must lie in (0, 1]")
+
+    @property
+    def lifetime_hours(self) -> float:
+        """Service life in wall-clock hours."""
+        return self.lifetime_years * 8760.0
+
+    def amortized_kg_per_hour(self, *, per_useful_hour: bool = False) -> float:
+        """Embodied carbon charged per hour of use.
+
+        With ``per_useful_hour=True`` the footprint is spread only over the
+        hours the component is expected to be doing useful work, which is the
+        fair charge when accounting a specific job on shared hardware.
+        """
+        hours = self.lifetime_hours
+        if per_useful_hour:
+            hours *= self.typical_utilization
+        return self.manufacturing_kg_co2e / hours
+
+
+#: Published life-cycle-assessment estimates (order of magnitude) for common
+#: AI-relevant hardware.  GPU figures follow vendor LCA reports and the
+#: Sustainable-AI literature (~150 kgCO2e per high-end accelerator package);
+#: the server figure covers chassis, CPUs, DRAM and storage.
+HARDWARE_FOOTPRINTS: Mapping[str, HardwareFootprint] = {
+    "V100": HardwareFootprint("V100", manufacturing_kg_co2e=140.0),
+    "A100": HardwareFootprint("A100", manufacturing_kg_co2e=160.0),
+    "T4": HardwareFootprint("T4", manufacturing_kg_co2e=70.0),
+    "GPU-SERVER": HardwareFootprint("GPU-SERVER", manufacturing_kg_co2e=1300.0, lifetime_years=5.0),
+    "RACK-SWITCH": HardwareFootprint("RACK-SWITCH", manufacturing_kg_co2e=320.0, lifetime_years=6.0),
+}
+
+
+def get_hardware_footprint(name: str) -> HardwareFootprint:
+    """Look up a hardware footprint by (case-insensitive) name."""
+    key = name.strip().upper()
+    for footprint_name, footprint in HARDWARE_FOOTPRINTS.items():
+        if footprint_name.upper() == key:
+            return footprint
+    raise TrackingError(
+        f"unknown hardware {name!r}; known: {sorted(HARDWARE_FOOTPRINTS)}"
+    )
+
+
+@dataclass(frozen=True)
+class TotalFootprint:
+    """Operational + embodied carbon of one workload."""
+
+    operational_kg: float
+    embodied_kg: float
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.operational_kg, "operational_kg")
+        require_non_negative(self.embodied_kg, "embodied_kg")
+
+    @property
+    def total_kg(self) -> float:
+        """Total footprint in kgCO2e."""
+        return self.operational_kg + self.embodied_kg
+
+    @property
+    def embodied_share(self) -> float:
+        """Fraction of the total footprint that is embodied carbon."""
+        if self.total_kg == 0:
+            return 0.0
+        return self.embodied_kg / self.total_kg
+
+
+class EmbodiedCarbonModel:
+    """Amortizes hardware manufacturing emissions over workloads.
+
+    Parameters
+    ----------
+    gpu_model:
+        GPU model powering the workload.
+    gpus_per_server:
+        GPUs per server chassis; the server footprint is split between them.
+    per_useful_hour:
+        Whether to amortize over expected *useful* hours (default) or over
+        raw wall-clock lifetime hours.
+    """
+
+    def __init__(
+        self,
+        gpu_model: str = "V100",
+        *,
+        gpus_per_server: int = 4,
+        per_useful_hour: bool = True,
+    ) -> None:
+        if gpus_per_server <= 0:
+            raise TrackingError("gpus_per_server must be positive")
+        self.gpu_footprint = get_hardware_footprint(gpu_model)
+        self.server_footprint = get_hardware_footprint("GPU-SERVER")
+        self.gpus_per_server = int(gpus_per_server)
+        self.per_useful_hour = bool(per_useful_hour)
+
+    def embodied_rate_kg_per_gpu_hour(self) -> float:
+        """Embodied carbon charged per GPU-hour (GPU + its share of the server)."""
+        gpu_rate = self.gpu_footprint.amortized_kg_per_hour(per_useful_hour=self.per_useful_hour)
+        server_rate = (
+            self.server_footprint.amortized_kg_per_hour(per_useful_hour=self.per_useful_hour)
+            / self.gpus_per_server
+        )
+        return gpu_rate + server_rate
+
+    def embodied_kg(self, gpu_hours: float) -> float:
+        """Embodied carbon attributable to ``gpu_hours`` of use."""
+        require_non_negative(gpu_hours, "gpu_hours")
+        return gpu_hours * self.embodied_rate_kg_per_gpu_hour()
+
+    def total_footprint(
+        self,
+        *,
+        gpu_hours: float,
+        energy_j: float,
+        grid_intensity_g_per_kwh: float,
+    ) -> TotalFootprint:
+        """Operational + embodied carbon for a measured workload."""
+        require_non_negative(energy_j, "energy_j")
+        require_non_negative(grid_intensity_g_per_kwh, "grid_intensity_g_per_kwh")
+        operational_kg = float(joules_to_kwh(energy_j)) * grid_intensity_g_per_kwh / 1e3
+        return TotalFootprint(
+            operational_kg=operational_kg, embodied_kg=self.embodied_kg(gpu_hours)
+        )
+
+    def breakeven_intensity_g_per_kwh(self, mean_power_w: float) -> float:
+        """Grid intensity at which embodied and operational carbon rates are equal.
+
+        Below this intensity (very clean grids) the embodied carbon of the
+        hardware dominates a job's footprint — the regime in which "buy fewer,
+        better-utilized accelerators" beats "buy greener electrons", a point
+        the Sustainable-AI literature the paper cites emphasises.
+        """
+        require_positive(mean_power_w, "mean_power_w")
+        embodied_rate_g_per_hour = self.embodied_rate_kg_per_gpu_hour() * 1e3
+        kwh_per_hour = mean_power_w / 1e3
+        return embodied_rate_g_per_hour / kwh_per_hour

@@ -1,0 +1,149 @@
+"""Model life-cycle energy accounting (training vs. experimentation vs. inference).
+
+Section IV.B of the paper stresses that published estimates focus on the
+*final* training run while "even less clear are the costs arising through a
+model's entire life-cycle", and cites industry figures putting inference at
+~90% of production ML infrastructure cost and 80-90% of energy.  This module
+makes that accounting explicit:
+
+* **development/experimentation** — hyper-parameter search and failed runs,
+  expressed as a multiple of the final training run;
+* **training** — the final run, from the
+  :class:`~repro.workloads.training.TrainingJobModel`;
+* **inference** — a serving fleet from
+  :class:`~repro.workloads.inference.InferenceFleetModel` operated over the
+  model's deployment lifetime.
+
+The CLAIM-INFER benchmark builds a representative production model and checks
+that the inference share lands in the 80-90% band while GPU utilization of
+the serving fleet sits far below training utilization.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from ..config import require_non_negative, require_positive
+from ..errors import TrackingError
+from ..workloads.inference import InferenceFleetModel, InferenceWorkloadSpec
+from ..workloads.training import TrainingJobModel, TrainingJobSpec
+
+__all__ = ["LifecycleStage", "LifecycleBreakdown", "LifecycleCostModel"]
+
+
+class LifecycleStage(enum.Enum):
+    """Stages of a model's life-cycle."""
+
+    DEVELOPMENT = "development"
+    TRAINING = "training"
+    INFERENCE = "inference"
+
+
+@dataclass(frozen=True)
+class LifecycleBreakdown:
+    """Energy (kWh) attributed to each life-cycle stage."""
+
+    development_kwh: float
+    training_kwh: float
+    inference_kwh: float
+    deployment_days: float
+    training_gpu_hours: float
+    inference_gpu_hours: float
+    inference_mean_utilization: float
+    training_utilization: float
+
+    def __post_init__(self) -> None:
+        for name in ("development_kwh", "training_kwh", "inference_kwh"):
+            if getattr(self, name) < 0:
+                raise TrackingError(f"{name} must be non-negative")
+
+    @property
+    def total_kwh(self) -> float:
+        """Total life-cycle energy."""
+        return self.development_kwh + self.training_kwh + self.inference_kwh
+
+    @property
+    def inference_share(self) -> float:
+        """Fraction of life-cycle energy spent on inference."""
+        total = self.total_kwh
+        return self.inference_kwh / total if total > 0 else 0.0
+
+    @property
+    def training_share(self) -> float:
+        """Fraction of life-cycle energy spent on the final training run."""
+        total = self.total_kwh
+        return self.training_kwh / total if total > 0 else 0.0
+
+    @property
+    def development_share(self) -> float:
+        """Fraction of life-cycle energy spent on development/search."""
+        total = self.total_kwh
+        return self.development_kwh / total if total > 0 else 0.0
+
+    def shares(self) -> Mapping[str, float]:
+        """All three shares keyed by stage name."""
+        return {
+            LifecycleStage.DEVELOPMENT.value: self.development_share,
+            LifecycleStage.TRAINING.value: self.training_share,
+            LifecycleStage.INFERENCE.value: self.inference_share,
+        }
+
+
+class LifecycleCostModel:
+    """Combines training and inference models into a life-cycle estimate.
+
+    Parameters
+    ----------
+    training_spec:
+        The model's training workload.
+    inference_spec:
+        The model's serving workload.
+    development_multiplier:
+        Energy of experimentation/hyper-parameter search expressed as a
+        multiple of the final training run (published post-mortems put this
+        between ~2x and ~10x; default 4x).
+    training_gpus:
+        GPU count used for the final training run.
+    """
+
+    def __init__(
+        self,
+        training_spec: TrainingJobSpec,
+        inference_spec: InferenceWorkloadSpec,
+        *,
+        development_multiplier: float = 4.0,
+        training_gpus: int = 8,
+        seed: Optional[int] = None,
+    ) -> None:
+        require_non_negative(development_multiplier, "development_multiplier")
+        if training_gpus <= 0:
+            raise TrackingError("training_gpus must be positive")
+        self.training_model = TrainingJobModel(training_spec)
+        self.inference_model = InferenceFleetModel(inference_spec, seed=seed)
+        self.development_multiplier = float(development_multiplier)
+        self.training_gpus = int(training_gpus)
+
+    def breakdown(self, deployment_days: float = 365.0) -> LifecycleBreakdown:
+        """Life-cycle energy breakdown for a given deployment lifetime."""
+        require_positive(deployment_days, "deployment_days")
+        training_run = self.training_model.run(self.training_gpus)
+        serving = self.inference_model.serve(period_days=deployment_days)
+        development_kwh = self.development_multiplier * training_run.total_energy_kwh
+        return LifecycleBreakdown(
+            development_kwh=development_kwh,
+            training_kwh=training_run.total_energy_kwh,
+            inference_kwh=serving.total_energy_kwh,
+            deployment_days=deployment_days,
+            training_gpu_hours=training_run.gpu_hours,
+            inference_gpu_hours=serving.n_gpus * deployment_days * 24.0,
+            inference_mean_utilization=serving.mean_utilization,
+            training_utilization=self.training_model.spec.utilization,
+        )
+
+    def inference_share_vs_lifetime(
+        self, deployment_days_grid: tuple[float, ...] = (30.0, 90.0, 180.0, 365.0, 730.0)
+    ) -> dict[float, float]:
+        """Inference's share of life-cycle energy as deployment lifetime grows."""
+        return {days: self.breakdown(days).inference_share for days in deployment_days_grid}

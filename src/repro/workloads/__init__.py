@@ -1,0 +1,42 @@
+"""Workload models: training jobs, inference serving, cluster traces, deadlines, trends.
+
+* :mod:`~repro.workloads.training` — analytic ML training-job model (epochs,
+  throughput vs. power cap and GPU count, energy to target accuracy).
+* :mod:`~repro.workloads.inference` — inference-serving fleet model (query
+  rates, batching, utilization), used by the life-cycle benchmark.
+* :mod:`~repro.workloads.supercloud` — synthetic MIT-SuperCloud-like traces:
+  both hourly facility-load series calibrated to the monthly statistics shown
+  in the paper's figures, and job-level traces for the cluster simulator.
+* :mod:`~repro.workloads.conferences` — the Table I conference calendar and
+  deadline counting.
+* :mod:`~repro.workloads.demand` — deadline-anticipation demand model (Fig. 5).
+* :mod:`~repro.workloads.trends` — the AI compute-demand trend of Fig. 1.
+"""
+
+from .training import TrainingJobSpec, TrainingRunResult, TrainingJobModel, ScalingEfficiencyModel
+from .inference import InferenceWorkloadSpec, InferenceFleetModel, InferenceFleetResult
+from .supercloud import SuperCloudTraceConfig, SuperCloudTraceGenerator, SuperCloudLoadTrace
+from .conferences import Conference, CONFERENCE_CATALOG, ConferenceCalendar
+from .demand import DeadlineDemandConfig, DeadlineDemandModel
+from .trends import ComputeTrendModel, NotableSystem, NOTABLE_SYSTEMS
+
+__all__ = [
+    "TrainingJobSpec",
+    "TrainingRunResult",
+    "TrainingJobModel",
+    "ScalingEfficiencyModel",
+    "InferenceWorkloadSpec",
+    "InferenceFleetModel",
+    "InferenceFleetResult",
+    "SuperCloudTraceConfig",
+    "SuperCloudTraceGenerator",
+    "SuperCloudLoadTrace",
+    "Conference",
+    "CONFERENCE_CATALOG",
+    "ConferenceCalendar",
+    "DeadlineDemandConfig",
+    "DeadlineDemandModel",
+    "ComputeTrendModel",
+    "NotableSystem",
+    "NOTABLE_SYSTEMS",
+]

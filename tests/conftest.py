@@ -1,0 +1,66 @@
+"""Shared fixtures for the test suite.
+
+Fixtures build *small* versions of the simulation world (a 2-month calendar,
+a 8-16 node facility, 60-120 job traces) so that the full suite runs in well
+under a minute while still exercising every subsystem end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.climate.weather import WeatherModel
+from repro.config import FacilityConfig
+from repro.grid.iso_ne import IsoNeLikeGrid
+from repro.timeutils import SimulationCalendar
+from repro.workloads.supercloud import SuperCloudTraceConfig, SuperCloudTraceGenerator
+
+
+@pytest.fixture(scope="session")
+def small_calendar() -> SimulationCalendar:
+    """A two-month calendar starting January 2020 (1464 hours)."""
+    return SimulationCalendar(start_year=2020, n_months=2)
+
+
+@pytest.fixture(scope="session")
+def year_calendar() -> SimulationCalendar:
+    """A full-year calendar for seasonal tests."""
+    return SimulationCalendar(start_year=2020, n_months=12)
+
+
+@pytest.fixture(scope="session")
+def two_year_calendar() -> SimulationCalendar:
+    """The paper's 2020-2021 window."""
+    return SimulationCalendar(start_year=2020, n_months=24)
+
+
+@pytest.fixture(scope="session")
+def small_facility() -> FacilityConfig:
+    """A 16-node, 32-GPU facility for fast simulator tests."""
+    return FacilityConfig(n_nodes=16, gpus_per_node=2)
+
+
+@pytest.fixture(scope="session")
+def small_weather(small_calendar) -> np.ndarray:
+    """Hourly temperatures for the small calendar."""
+    return WeatherModel(seed=7).hourly_temperature_c(small_calendar)
+
+
+@pytest.fixture(scope="session")
+def small_grid(small_calendar) -> IsoNeLikeGrid:
+    """A grid model covering the small calendar."""
+    return IsoNeLikeGrid(small_calendar, seed=7)
+
+
+@pytest.fixture(scope="session")
+def year_grid(year_calendar) -> IsoNeLikeGrid:
+    """A grid model covering a full year."""
+    return IsoNeLikeGrid(year_calendar, seed=7)
+
+
+@pytest.fixture(scope="session")
+def job_trace(small_facility):
+    """A 100-job trace over five days for scheduler tests."""
+    generator = SuperCloudTraceGenerator(SuperCloudTraceConfig(facility=small_facility), seed=3)
+    return generator.generate_jobs(n_jobs=100, horizon_h=5 * 24.0)

@@ -1,0 +1,43 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_parses_figures_with_options(self):
+        args = build_parser().parse_args(["--seed", "3", "--months", "12", "figures"])
+        assert args.seed == 3
+        assert args.months == 12
+        assert args.command == "figures"
+
+    def test_parses_shifting_options(self):
+        args = build_parser().parse_args(["shifting", "--deferrable", "0.4", "--window", "12"])
+        assert args.deferrable == pytest.approx(0.4)
+        assert args.window == 12
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "NeurIPS" in out
+        assert "spring/summer" in out
+
+    def test_powercap(self, capsys):
+        assert main(["powercap"]) == 0
+        out = capsys.readouterr().out
+        assert "energy_savings_pct" in out
+
+    def test_figures_short_horizon(self, capsys):
+        assert main(["--months", "12", "figures"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig.2 corr(power, green share)" in out
+        assert "Fig.4 spearman" in out
+        # Fig. 5 needs two years and is skipped on a 12-month horizon.
+        assert "Fig.5" not in out

@@ -1,0 +1,75 @@
+"""Tests for utilization accounting (the Section IV.B utilization story)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.utilization import UtilizationTracker, utilization_statistics
+from repro.errors import DataError
+
+
+class TestUtilizationTracker:
+    def test_empty_tracker(self):
+        tracker = UtilizationTracker()
+        assert tracker.total_time_s == 0.0
+        assert tracker.mean_utilization == 0.0
+        assert tracker.busy_fraction == 0.0
+
+    def test_time_weighted_mean(self):
+        tracker = UtilizationTracker()
+        tracker.observe(100.0, 1.0)
+        tracker.observe(300.0, 0.0)
+        assert tracker.mean_utilization == pytest.approx(0.25)
+        assert tracker.busy_fraction == pytest.approx(0.25)
+
+    def test_busy_fraction_counts_any_nonzero_utilization(self):
+        tracker = UtilizationTracker()
+        tracker.observe(50.0, 0.1)
+        tracker.observe(50.0, 0.0)
+        assert tracker.busy_fraction == pytest.approx(0.5)
+
+    def test_merge(self):
+        a = UtilizationTracker()
+        a.observe(100.0, 0.5)
+        b = UtilizationTracker()
+        b.observe(100.0, 1.0)
+        merged = a.merge(b)
+        assert merged.total_time_s == pytest.approx(200.0)
+        assert merged.mean_utilization == pytest.approx(0.75)
+        # Originals untouched.
+        assert a.total_time_s == pytest.approx(100.0)
+
+    def test_validation(self):
+        tracker = UtilizationTracker()
+        with pytest.raises(DataError):
+            tracker.observe(-1.0, 0.5)
+        with pytest.raises(DataError):
+            tracker.observe(1.0, 1.5)
+
+
+class TestUtilizationStatistics:
+    def test_cloud_gpu_profile_matches_paper_band(self):
+        """A fleet mostly at 10-30% utilization shows a large below-30% fraction,
+        the headline statistic of the paper's inference discussion."""
+        rng = np.random.default_rng(0)
+        observations = np.clip(rng.normal(0.22, 0.08, size=500), 0.0, 1.0)
+        stats = utilization_statistics(observations)
+        assert stats.fraction_below_30pct > 0.7
+        assert stats.fraction_above_80pct < 0.05
+        assert 0.1 < stats.mean < 0.35
+
+    def test_training_profile(self):
+        rng = np.random.default_rng(1)
+        observations = np.clip(rng.normal(0.92, 0.03, size=200), 0.0, 1.0)
+        stats = utilization_statistics(observations)
+        assert stats.fraction_above_80pct > 0.9
+        assert stats.p10 > 0.8
+
+    def test_percentiles_ordered(self):
+        stats = utilization_statistics(np.linspace(0, 1, 101))
+        assert stats.p10 <= stats.median <= stats.p90
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            utilization_statistics([])
+        with pytest.raises(DataError):
+            utilization_statistics([1.5])

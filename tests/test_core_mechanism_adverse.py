@@ -1,0 +1,137 @@
+"""Tests for the two-part mechanism and the adverse-selection study."""
+
+import pytest
+
+from repro.core.adverse_selection import AdverseSelectionStudy
+from repro.core.mechanism import (
+    DEFAULT_MENU,
+    MechanismOption,
+    TwoPartMechanism,
+    UserPreference,
+)
+from repro.errors import MechanismError
+from repro.workloads.training import TrainingJobSpec
+
+
+WORKLOAD = TrainingJobSpec(name="bench", single_gpu_hours=50.0)
+
+
+class TestMechanismOptions:
+    def test_default_menu_has_status_quo(self):
+        assert any(o.power_cap_fraction >= 1.0 and o.gpu_multiplier == 1.0 for o in DEFAULT_MENU)
+
+    def test_option_validation(self):
+        with pytest.raises(MechanismError):
+            MechanismOption("bad", power_cap_fraction=0.0, gpu_multiplier=1.0)
+        with pytest.raises(MechanismError):
+            MechanismOption("bad", power_cap_fraction=0.8, gpu_multiplier=0.5)
+
+    def test_menu_requires_status_quo(self):
+        with pytest.raises(MechanismError):
+            TwoPartMechanism([MechanismOption("eco", 0.7, 1.2)])
+
+    def test_menu_rejects_duplicates(self):
+        option = MechanismOption("baseline", 1.0, 1.0)
+        with pytest.raises(MechanismError):
+            TwoPartMechanism([option, option])
+
+
+class TestBestResponse:
+    def test_green_user_prefers_capped_option(self):
+        mechanism = TwoPartMechanism()
+        green = UserPreference("green", base_gpus=4, workload=WORKLOAD, time_weight=1.0, energy_weight=1.0)
+        choice = mechanism.best_response(green)
+        assert choice.option.power_cap_fraction < 1.0
+
+    def test_choice_minimises_stated_utility(self):
+        mechanism = TwoPartMechanism()
+        user = UserPreference("u", base_gpus=4, workload=WORKLOAD, energy_weight=0.05)
+        best = mechanism.best_response(user)
+        utilities = [mechanism.evaluate_option(user, o).utility for o in mechanism.menu]
+        assert best.utility == pytest.approx(min(utilities))
+
+    def test_evaluate_option_consistency(self):
+        mechanism = TwoPartMechanism()
+        user = UserPreference("u", base_gpus=2, workload=WORKLOAD)
+        eco = next(o for o in mechanism.menu if o.name == "eco")
+        choice = mechanism.evaluate_option(user, eco)
+        assert choice.n_gpus == max(1, round(2 * eco.gpu_multiplier))
+        assert choice.energy_kwh > 0
+        assert choice.wall_clock_hours > 0
+
+    def test_preference_validation(self):
+        with pytest.raises(MechanismError):
+            UserPreference("u", base_gpus=0, workload=WORKLOAD)
+        with pytest.raises(MechanismError):
+            UserPreference("u", base_gpus=1, workload=WORKLOAD, energy_weight=-1.0)
+
+
+class TestPopulationOutcome:
+    def test_mechanism_saves_energy_without_hurting_time(self):
+        """The EQ2 headline: offering the menu reduces system energy while mean
+        completion time does not get worse (users only switch when it helps them)."""
+        mechanism = TwoPartMechanism()
+        population = TwoPartMechanism.synthetic_population(80, seed=0)
+        outcome = mechanism.evaluate_population(population)
+        assert outcome.energy_savings_fraction > 0.02
+        assert outcome.mean_time_change_fraction <= 0.01
+        assert 0.0 < outcome.participation_rate <= 1.0
+
+    def test_greener_population_participates_more(self):
+        mechanism = TwoPartMechanism()
+        neutral = mechanism.evaluate_population(
+            TwoPartMechanism.synthetic_population(60, green_fraction=0.0, seed=1)
+        )
+        green = mechanism.evaluate_population(
+            TwoPartMechanism.synthetic_population(60, green_fraction=1.0, seed=1)
+        )
+        assert green.participation_rate >= neutral.participation_rate
+        assert green.energy_savings_fraction >= neutral.energy_savings_fraction
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(MechanismError):
+            TwoPartMechanism().evaluate_population([])
+
+    def test_synthetic_population_validation(self):
+        with pytest.raises(MechanismError):
+            TwoPartMechanism.synthetic_population(0)
+        with pytest.raises(MechanismError):
+            TwoPartMechanism.synthetic_population(5, green_fraction=2.0)
+
+
+class TestAdverseSelection:
+    @pytest.fixture(scope="class")
+    def regimes(self):
+        return AdverseSelectionStudy(seed=0).compare_regimes(n_users=400)
+
+    def test_all_regimes_present(self, regimes):
+        assert set(regimes) == {"truthful", "strategic", "two-part"}
+
+    def test_strategic_regime_misreports(self, regimes):
+        assert regimes["strategic"].misreport_rate > 0.1
+        assert regimes["truthful"].misreport_rate == 0.0
+        assert regimes["two-part"].misreport_rate == 0.0
+
+    def test_strategic_regime_clogs_urgent_queue(self, regimes):
+        assert (
+            regimes["strategic"].urgent_queue_congestion
+            > regimes["truthful"].urgent_queue_congestion
+        )
+        assert (
+            regimes["strategic"].expected_urgent_wait_penalty_h
+            > 2.0 * regimes["truthful"].expected_urgent_wait_penalty_h
+        )
+
+    def test_two_part_matches_truthful(self, regimes):
+        assert regimes["two-part"].urgent_queue_congestion == pytest.approx(
+            regimes["truthful"].urgent_queue_congestion
+        )
+
+    def test_validation(self):
+        with pytest.raises(MechanismError):
+            AdverseSelectionStudy(urgent_fraction=2.0)
+        with pytest.raises(MechanismError):
+            AdverseSelectionStudy().synthetic_population(0)
+        with pytest.raises(MechanismError):
+            study = AdverseSelectionStudy(seed=0)
+            study.run_regime(study.synthetic_population(5), "chaotic")

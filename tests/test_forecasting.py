@@ -1,0 +1,221 @@
+"""Tests for the forecasting stack (features, models, wind study, evaluation)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ForecastError
+from repro.forecasting.demand import DemandForecaster, PriceForecaster
+from repro.forecasting.evaluation import evaluate_forecast, forecast_skill
+from repro.forecasting.features import make_lag_matrix, make_seasonal_features, train_test_split_series
+from repro.forecasting.linear import (
+    AutoregressiveForecaster,
+    PersistenceForecaster,
+    RidgeRegressor,
+    SeasonalNaiveForecaster,
+)
+from repro.forecasting.wind import WindFarmConfig, WindFarmSimulator, WindForecastStudy
+
+
+class TestFeatures:
+    def test_lag_matrix_values(self):
+        series = np.arange(10.0)
+        X, y = make_lag_matrix(series, lags=[1, 2], horizon=1)
+        # First usable row: t=2 -> features [series[1], series[0]], target series[2].
+        np.testing.assert_allclose(X[0], [1.0, 0.0])
+        assert y[0] == pytest.approx(2.0)
+        assert X.shape[0] == y.shape[0]
+
+    def test_lag_matrix_horizon(self):
+        series = np.arange(10.0)
+        _, y1 = make_lag_matrix(series, lags=[1], horizon=1)
+        _, y3 = make_lag_matrix(series, lags=[1], horizon=3)
+        assert y3[0] == y1[0] + 2.0
+
+    def test_lag_matrix_with_exogenous(self):
+        series = np.arange(10.0)
+        exo = series * 10
+        X, y = make_lag_matrix(series, lags=[1], horizon=2, exogenous=exo)
+        # Exogenous column holds the value at the target time.
+        np.testing.assert_allclose(X[:, -1], y * 10)
+
+    def test_lag_matrix_validation(self):
+        with pytest.raises(ForecastError):
+            make_lag_matrix(np.arange(3.0), lags=[5])
+        with pytest.raises(ForecastError):
+            make_lag_matrix(np.arange(10.0), lags=[])
+        with pytest.raises(ForecastError):
+            make_lag_matrix(np.arange(10.0), lags=[1], horizon=0)
+
+    def test_seasonal_features_shape(self):
+        features = make_seasonal_features(np.arange(48.0), periods=[24.0], include_bias=True)
+        assert features.shape == (48, 3)
+        np.testing.assert_allclose(features[:, 0], 1.0)
+
+    def test_seasonal_features_periodicity(self):
+        features = make_seasonal_features(np.arange(48.0), periods=[24.0], include_bias=False)
+        np.testing.assert_allclose(features[0], features[24], atol=1e-9)
+
+    def test_train_test_split_chronological(self):
+        X = np.arange(20.0)[:, None]
+        y = np.arange(20.0)
+        X_train, y_train, X_test, y_test = train_test_split_series(X, y, test_fraction=0.25)
+        assert X_train.shape[0] == 15
+        assert X_test.shape[0] == 5
+        assert y_test[0] == 15.0
+
+    def test_split_validation(self):
+        with pytest.raises(ForecastError):
+            train_test_split_series(np.ones((5, 1)), np.ones(4))
+
+
+class TestRidge:
+    def test_recovers_linear_relationship(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(200, 3))
+        y = 2.0 * X[:, 0] - 1.0 * X[:, 1] + 0.5 + rng.normal(scale=0.01, size=200)
+        model = RidgeRegressor(alpha=1e-6).fit(X, y)
+        assert model.score_r2(X, y) > 0.99
+
+    def test_regularisation_shrinks_coefficients(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(100, 2))
+        y = 3.0 * X[:, 0] + rng.normal(scale=0.1, size=100)
+        loose = RidgeRegressor(alpha=1e-6).fit(X, y)
+        tight = RidgeRegressor(alpha=1e4).fit(X, y)
+        assert abs(tight.coef_[0]) < abs(loose.coef_[0])
+
+    def test_predict_before_fit(self):
+        with pytest.raises(ForecastError):
+            RidgeRegressor().predict(np.ones((2, 2)))
+
+    def test_shape_validation(self):
+        with pytest.raises(ForecastError):
+            RidgeRegressor().fit(np.ones(5), np.ones(5))
+        model = RidgeRegressor().fit(np.ones((5, 2)), np.arange(5.0))
+        with pytest.raises(ForecastError):
+            model.predict(np.ones((2, 3)))
+
+
+class TestBaselinesAndAr:
+    def _seasonal_series(self, n=600):
+        t = np.arange(n, dtype=float)
+        rng = np.random.default_rng(2)
+        return 10.0 + 3.0 * np.sin(2 * np.pi * t / 24.0) + rng.normal(scale=0.3, size=n)
+
+    def test_persistence_backtest_shapes(self):
+        series = self._seasonal_series()
+        pred, truth = PersistenceForecaster(horizon=1).backtest(series)
+        assert pred.shape == truth.shape
+
+    def test_seasonal_naive_beats_persistence_on_seasonal_series(self):
+        series = self._seasonal_series()
+        p_pred, p_truth = PersistenceForecaster(horizon=12).backtest(series)
+        s_pred, s_truth = SeasonalNaiveForecaster(season_length=24, horizon=12).backtest(series)
+        assert evaluate_forecast(s_pred, s_truth).mae < evaluate_forecast(p_pred, p_truth).mae
+
+    def test_ar_forecaster_beats_persistence(self):
+        series = self._seasonal_series()
+        ar = AutoregressiveForecaster(lags=(1, 2, 24), horizon=12)
+        a_pred, a_truth = ar.backtest(series)
+        p_pred, p_truth = PersistenceForecaster(horizon=12).backtest(series)
+        n = min(a_pred.shape[0], p_pred.shape[0])
+        skill = forecast_skill(a_pred[-n:], a_truth[-n:], p_pred[-n:])
+        assert skill > 0.2
+
+    def test_ar_requires_fit_before_predict(self):
+        with pytest.raises(ForecastError):
+            AutoregressiveForecaster().predict_from_history(np.arange(50.0))
+
+    def test_too_short_series_rejected(self):
+        with pytest.raises(ForecastError):
+            AutoregressiveForecaster(lags=(1, 24), horizon=1).fit(np.arange(10.0))
+
+
+class TestEvaluation:
+    def test_perfect_forecast(self):
+        truth = np.array([1.0, 2.0, 3.0])
+        metrics = evaluate_forecast(truth, truth)
+        assert metrics.mae == 0.0
+        assert metrics.rmse == 0.0
+        assert metrics.bias == 0.0
+
+    def test_bias_sign(self):
+        truth = np.ones(5)
+        metrics = evaluate_forecast(truth + 2.0, truth)
+        assert metrics.bias == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ForecastError):
+            evaluate_forecast(np.ones(3), np.ones(4))
+        with pytest.raises(ForecastError):
+            evaluate_forecast(np.array([np.nan, 1.0]), np.array([1.0, 1.0]))
+
+    def test_skill_metric_validation(self):
+        truth = np.arange(5.0)
+        with pytest.raises(ForecastError):
+            forecast_skill(truth, truth, truth, metric="mape")
+        with pytest.raises(ForecastError):
+            forecast_skill(truth, truth, truth)  # baseline error zero
+
+
+class TestWind:
+    def test_power_curve_breakpoints(self):
+        farm = WindFarmSimulator(WindFarmConfig(capacity_mw=50.0), seed=0)
+        speeds = np.array([0.0, 2.0, 12.0, 20.0, 26.0])
+        power = farm.power_curve(speeds)
+        assert power[0] == 0.0 and power[1] == 0.0
+        assert power[2] == pytest.approx(50.0)
+        assert power[3] == pytest.approx(50.0)
+        assert power[4] == 0.0  # beyond cut-out
+
+    def test_power_curve_monotone_below_rated(self):
+        farm = WindFarmSimulator(seed=0)
+        speeds = np.linspace(3.0, 12.0, 20)
+        power = farm.power_curve(speeds)
+        assert np.all(np.diff(power) >= 0)
+
+    def test_wind_series_nonnegative(self):
+        farm = WindFarmSimulator(seed=0)
+        speed, power = farm.generate(2000)
+        assert speed.min() >= 0
+        assert power.min() >= 0
+        assert power.max() <= farm.config.capacity_mw
+
+    def test_study_beats_persistence_at_36h(self):
+        """The learned 36 h forecast must beat persistence clearly (the [30] claim)."""
+        study = WindForecastStudy.run(n_hours=4000, horizon_h=36, seed=0)
+        assert study.skill_vs_persistence > 0.15
+        assert study.model_metrics.mae < study.persistence_metrics.mae
+
+    def test_config_validation(self):
+        with pytest.raises(Exception):
+            WindFarmConfig(cut_in_ms=15.0, rated_ms=12.0)
+
+
+class TestDemandAndPriceForecasters:
+    def test_demand_forecaster_backtest(self, year_grid):
+        # Forecast the renewable share series as a stand-in occupancy signal.
+        series = year_grid.renewable_share[: 24 * 200]
+        forecaster = DemandForecaster(horizon=24)
+        metrics = forecaster.evaluate(series)
+        assert metrics.mae >= 0
+        assert metrics.n_samples > 100
+
+    def test_price_forecaster_uses_exogenous_renewables(self, year_grid):
+        n = 24 * 200
+        prices = year_grid.price_per_mwh[:n]
+        renewables = year_grid.renewable_share[:n]
+        with_exo = PriceForecaster(horizon=24).evaluate(prices, renewables)
+        without = PriceForecaster(horizon=24).evaluate(prices)
+        assert with_exo.mae <= without.mae * 1.05
+
+    def test_deadline_pressure_feature(self):
+        pressure = DemandForecaster.deadline_pressure([("X", 100.0)], n_hours=200, window_days=2.0)
+        assert pressure.shape == (200,)
+        assert pressure[90] == 1.0
+        assert pressure[40] == 0.0
+        assert pressure[150] == 0.0
+
+    def test_backtest_too_short(self):
+        with pytest.raises(ForecastError):
+            DemandForecaster(horizon=24).backtest(np.arange(50.0))

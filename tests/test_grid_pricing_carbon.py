@@ -1,0 +1,136 @@
+"""Tests for the price and carbon-intensity models and the grid facade."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.correlation import pearson_correlation
+from repro.errors import ConfigurationError, DataError
+from repro.grid.carbon_intensity import EMISSION_FACTORS_G_PER_KWH, CarbonIntensityModel
+from repro.grid.fuel_mix import FUEL_TYPES, FuelMixModel
+from repro.grid.iso_ne import IsoNeLikeGrid
+from repro.grid.pricing import LmpPriceConfig, LmpPriceModel
+from repro.timeutils import SimulationCalendar
+
+
+class TestCarbonIntensity:
+    def test_gas_heavy_mix_dirtier_than_renewable_mix(self):
+        model = CarbonIntensityModel()
+        gas_mix = np.zeros((1, len(FUEL_TYPES)))
+        gas_mix[0, FUEL_TYPES.index("natural_gas")] = 1.0
+        wind_mix = np.zeros((1, len(FUEL_TYPES)))
+        wind_mix[0, FUEL_TYPES.index("wind")] = 1.0
+        assert model.intensity_from_shares(gas_mix)[0] > model.intensity_from_shares(wind_mix)[0]
+
+    def test_intensity_bounded_by_fuel_factors(self, year_calendar):
+        model = CarbonIntensityModel()
+        mix = FuelMixModel(seed=0).generate(year_calendar)
+        intensity = model.intensity_series(mix)
+        assert intensity.min() >= min(EMISSION_FACTORS_G_PER_KWH.values()) - 1e-9
+        assert intensity.max() <= max(EMISSION_FACTORS_G_PER_KWH.values()) + 1e-9
+
+    def test_missing_factor_rejected(self):
+        with pytest.raises(DataError):
+            CarbonIntensityModel(emission_factors={"solar": -1.0})
+
+    def test_override_changes_result(self):
+        base = CarbonIntensityModel()
+        greener_gas = CarbonIntensityModel(emission_factors={"natural_gas": 300.0})
+        shares = np.zeros((1, len(FUEL_TYPES)))
+        shares[0, FUEL_TYPES.index("natural_gas")] = 1.0
+        assert greener_gas.intensity_from_shares(shares)[0] < base.intensity_from_shares(shares)[0]
+
+    def test_monthly_intensity_shape(self, year_calendar):
+        model = CarbonIntensityModel()
+        mix = FuelMixModel(seed=0).generate(year_calendar)
+        monthly = model.monthly_intensity(year_calendar, mix)
+        assert monthly.shape == (12,)
+        assert np.all(monthly > 0)
+
+    def test_annual_average_in_plausible_range(self, year_calendar):
+        model = CarbonIntensityModel()
+        mix = FuelMixModel(seed=0).generate(year_calendar)
+        avg = model.annual_average(mix)
+        # ISO-NE's average intensity is a few hundred gCO2e/kWh.
+        assert 150.0 < avg < 550.0
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(DataError):
+            CarbonIntensityModel().intensity_from_shares(np.ones((4, 2)))
+
+
+class TestLmpPriceModel:
+    def test_prices_positive_and_in_band(self, year_calendar):
+        mix = FuelMixModel(seed=1).generate(year_calendar)
+        prices = LmpPriceModel(seed=1).price_series(year_calendar, mix)
+        assert np.all(prices >= LmpPriceConfig().price_floor_per_mwh)
+        monthly = LmpPriceModel(seed=1).monthly_average_price(year_calendar, mix, prices)
+        # The paper's Fig. 3 shows monthly averages roughly between $20 and $50.
+        assert monthly.min() > 15.0
+        assert monthly.max() < 60.0
+
+    def test_price_anticorrelated_with_renewables(self, year_calendar):
+        model = LmpPriceModel(seed=1)
+        fuel = FuelMixModel(seed=1)
+        mix = fuel.generate(year_calendar)
+        prices = model.monthly_average_price(year_calendar, mix)
+        renewables = fuel.monthly_renewable_share(year_calendar, mix)
+        assert pearson_correlation(prices, renewables) < 0
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            LmpPriceConfig(renewable_discount=1.5)
+        with pytest.raises(ConfigurationError):
+            LmpPriceConfig(winter_gas_premium=0.8)
+
+    def test_cost_of_hourly_load(self, small_calendar):
+        mix = FuelMixModel(seed=0).generate(small_calendar)
+        model = LmpPriceModel(seed=0)
+        prices = model.price_series(small_calendar, mix)
+        load = np.full(prices.shape, 0.5)  # 0.5 MWh each hour
+        cost = model.cost_of_hourly_load(prices, load)
+        assert cost == pytest.approx(float(np.sum(prices) * 0.5))
+
+    def test_cost_shape_mismatch(self):
+        with pytest.raises(DataError):
+            LmpPriceModel().cost_of_hourly_load(np.ones(5), np.ones(4))
+
+    def test_mix_horizon_mismatch_rejected(self, small_calendar, year_calendar):
+        mix = FuelMixModel(seed=0).generate(small_calendar)
+        with pytest.raises(DataError):
+            LmpPriceModel(seed=0).price_series(year_calendar, mix)
+
+
+class TestIsoNeLikeGrid:
+    def test_series_aligned(self, year_grid):
+        n = year_grid.hours.shape[0]
+        assert year_grid.carbon_intensity_g_per_kwh.shape == (n,)
+        assert year_grid.price_per_mwh.shape == (n,)
+        assert year_grid.renewable_share.shape == (n,)
+
+    def test_monthly_summary(self, year_grid):
+        monthly = year_grid.monthly
+        assert len(monthly.month_labels) == 12
+        assert monthly.renewable_share_pct.min() > 0
+
+    def test_state_at_hour_fields(self, year_grid):
+        state = year_grid.state_at_hour(100.5)
+        assert set(state) == {"hour", "renewable_share", "carbon_intensity_g_per_kwh", "price_per_mwh"}
+        assert state["carbon_intensity_g_per_kwh"] == pytest.approx(
+            year_grid.carbon_intensity_at(100.5)
+        )
+
+    def test_greenest_hours(self, year_grid):
+        top = year_grid.greenest_hours(10)
+        assert top.shape == (10,)
+        threshold = np.sort(year_grid.renewable_share)[-10]
+        assert np.all(year_grid.renewable_share[top] >= threshold - 1e-12)
+
+    def test_greenest_hours_rejects_nonpositive(self, year_grid):
+        with pytest.raises(DataError):
+            year_grid.greenest_hours(0)
+
+    def test_carbon_anticorrelated_with_renewable_share(self, year_grid):
+        corr = pearson_correlation(
+            year_grid.monthly.carbon_intensity_g_per_kwh, year_grid.monthly.renewable_share_pct
+        )
+        assert corr < 0

@@ -1,0 +1,110 @@
+"""Tests for the parallel sweep harness."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.parallel.pool import ParallelConfig, map_parallel
+from repro.parallel.sweep import ParameterSweep, SweepPoint, SweepResult, grid_points
+
+
+def square(x: int) -> int:
+    return x * x
+
+
+def evaluate_point(point: SweepPoint) -> float:
+    return point.params["a"] * 10 + point.params["b"]
+
+
+class TestParallelConfig:
+    def test_defaults_serial(self):
+        assert ParallelConfig().resolved_workers() == 1
+
+    def test_zero_means_all_cores(self):
+        assert ParallelConfig(n_workers=0).resolved_workers() >= 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ParallelConfig(n_workers=-1)
+        with pytest.raises(ConfigurationError):
+            ParallelConfig(chunksize=0)
+
+
+class TestMapParallel:
+    def test_serial_path(self):
+        assert map_parallel(square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_serial_preserves_order(self):
+        assert map_parallel(square, range(10)) == [i * i for i in range(10)]
+
+    def test_small_task_count_stays_serial_even_with_workers(self):
+        config = ParallelConfig(n_workers=4, min_tasks_for_processes=100)
+        # A lambda is not picklable; succeeding proves the serial path was used.
+        assert map_parallel(lambda x: x + 1, [1, 2, 3], config) == [2, 3, 4]
+
+    def test_process_pool_path(self):
+        config = ParallelConfig(n_workers=2, min_tasks_for_processes=2)
+        assert map_parallel(square, list(range(12)), config) == [i * i for i in range(12)]
+
+    def test_empty_tasks(self):
+        assert map_parallel(square, []) == []
+
+
+class TestGridPoints:
+    def test_cartesian_product(self):
+        points = grid_points({"a": [1, 2], "b": [10, 20, 30]})
+        assert len(points) == 6
+        assert points[0].params == {"a": 1, "b": 10}
+        assert points[-1].params == {"a": 2, "b": 30}
+
+    def test_indices_and_seeds_unique(self):
+        points = grid_points({"a": [1, 2, 3]}, seed=5)
+        assert [p.index for p in points] == [0, 1, 2]
+        assert len({p.seed for p in points}) == 3
+
+    def test_seeds_reproducible(self):
+        a = grid_points({"a": [1, 2]}, seed=5)
+        b = grid_points({"a": [1, 2]}, seed=5)
+        assert [p.seed for p in a] == [p.seed for p in b]
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            grid_points({})
+        with pytest.raises(ConfigurationError):
+            grid_points({"a": []})
+
+
+class TestParameterSweep:
+    def test_run_grid(self):
+        sweep = ParameterSweep(evaluate_point)
+        result = sweep.run_grid({"a": [1, 2], "b": [3, 4]})
+        assert len(result) == 4
+        assert result.values == (13.0, 14.0, 23.0, 24.0)
+
+    def test_records(self):
+        sweep = ParameterSweep(evaluate_point)
+        records = sweep.run_grid({"a": [1], "b": [3]}).as_records()
+        assert records == [{"a": 1, "b": 3, "value": 13.0}]
+
+    def test_best_minimise_and_maximise(self):
+        sweep = ParameterSweep(evaluate_point)
+        result = sweep.run_grid({"a": [1, 2], "b": [3, 4]})
+        best_point, best_value = result.best(lambda v: v)
+        assert best_value == 13.0
+        worst_point, worst_value = result.best(lambda v: v, maximize=True)
+        assert worst_value == 24.0
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParameterSweep(evaluate_point).run([])
+
+    def test_mismatched_result_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepResult(points=(SweepPoint(0, {}, 1),), values=())
+
+    def test_parallel_execution_matches_serial(self):
+        points = grid_points({"a": list(range(6)), "b": [1, 2]})
+        serial = ParameterSweep(evaluate_point).run(points)
+        parallel = ParameterSweep(
+            evaluate_point, parallel=ParallelConfig(n_workers=2, min_tasks_for_processes=2)
+        ).run(points)
+        assert serial.values == parallel.values

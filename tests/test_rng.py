@@ -1,0 +1,103 @@
+"""Tests for repro.rng (seed derivation and named streams)."""
+
+import numpy as np
+import pytest
+
+from repro.rng import DEFAULT_SEED, RngStreams, derive_seed, make_rng, spawn_rngs
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "weather") == derive_seed(42, "weather")
+
+    def test_distinct_names_give_distinct_seeds(self):
+        assert derive_seed(42, "weather") != derive_seed(42, "workload")
+
+    def test_distinct_base_seeds_give_distinct_seeds(self):
+        assert derive_seed(1, "weather") != derive_seed(2, "weather")
+
+    def test_multiple_name_components(self):
+        assert derive_seed(1, "a", "b") != derive_seed(1, "ab")
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_non_negative_and_bounded(self):
+        for seed in (0, 1, 123456789, -5):
+            value = derive_seed(seed, "x")
+            assert 0 <= value < 2**63
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(7, "grid").uniform(size=5)
+        b = make_rng(7, "grid").uniform(size=5)
+        np.testing.assert_allclose(a, b)
+
+    def test_different_names_differ(self):
+        a = make_rng(7, "grid").uniform(size=5)
+        b = make_rng(7, "weather").uniform(size=5)
+        assert not np.allclose(a, b)
+
+    def test_none_uses_default_seed(self):
+        a = make_rng(None).uniform(size=3)
+        b = make_rng(DEFAULT_SEED).uniform(size=3)
+        np.testing.assert_allclose(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert make_rng(gen) is gen
+
+    def test_generator_with_names_derives_child(self):
+        gen = np.random.default_rng(0)
+        child = make_rng(gen, "x")
+        assert child is not gen
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        rngs = spawn_rngs(3, 4)
+        assert len(rngs) == 4
+
+    def test_streams_independent(self):
+        rngs = spawn_rngs(3, 2)
+        a = rngs[0].uniform(size=10)
+        b = rngs[1].uniform(size=10)
+        assert not np.allclose(a, b)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(3, -1)
+
+
+class TestRngStreams:
+    def test_same_name_returns_same_generator(self):
+        streams = RngStreams(5)
+        assert streams.get("weather") is streams.get("weather")
+
+    def test_different_names_return_different_generators(self):
+        streams = RngStreams(5)
+        assert streams.get("a") is not streams.get("b")
+
+    def test_reset_single_stream(self):
+        streams = RngStreams(5)
+        first = streams.get("a").uniform(size=3)
+        streams.reset("a")
+        second = streams.get("a").uniform(size=3)
+        np.testing.assert_allclose(first, second)
+
+    def test_reset_all(self):
+        streams = RngStreams(5)
+        streams.get("a")
+        streams.get("b")
+        streams.reset()
+        assert list(streams.names()) == []
+
+    def test_names_in_creation_order(self):
+        streams = RngStreams(5)
+        streams.get("z")
+        streams.get("a")
+        assert list(streams.names()) == ["z", "a"]
+
+    def test_reproducible_across_instances(self):
+        a = RngStreams(11).get("demand").normal(size=4)
+        b = RngStreams(11).get("demand").normal(size=4)
+        np.testing.assert_allclose(a, b)

@@ -1,0 +1,140 @@
+"""Tests for the power sampler, energy integrator and facility metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError, TelemetryError
+from repro.telemetry.metrics import (
+    carbon_usage_effectiveness,
+    energy_reuse_effectiveness,
+    it_power_from_facility,
+    power_usage_effectiveness,
+    water_usage_effectiveness,
+)
+from repro.telemetry.nvml_sim import SimulatedNvml
+from repro.telemetry.sampler import EnergyIntegrator, PowerSampler
+
+
+class TestEnergyIntegrator:
+    def test_empty_and_single_sample(self):
+        integ = EnergyIntegrator()
+        assert integ.energy_j() == 0.0
+        integ.add(0.0, 100.0)
+        assert integ.energy_j() == 0.0
+        assert integ.peak_power_w() == 100.0
+
+    def test_constant_power(self):
+        integ = EnergyIntegrator()
+        for t in range(11):
+            integ.add(float(t), 200.0)
+        assert integ.energy_j() == pytest.approx(2000.0)
+        assert integ.mean_power_w() == pytest.approx(200.0)
+
+    def test_rejects_decreasing_time(self):
+        integ = EnergyIntegrator()
+        integ.add(1.0, 10.0)
+        with pytest.raises(TelemetryError):
+            integ.add(0.5, 10.0)
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(TelemetryError):
+            EnergyIntegrator().add(0.0, -5.0)
+
+    def test_as_arrays(self):
+        integ = EnergyIntegrator()
+        integ.add(0.0, 1.0)
+        integ.add(1.0, 2.0)
+        times, powers = integ.as_arrays()
+        np.testing.assert_allclose(times, [0.0, 1.0])
+        np.testing.assert_allclose(powers, [1.0, 2.0])
+
+
+class TestPowerSampler:
+    def _nvml(self, n=2):
+        nvml = SimulatedNvml.create(n, "V100", seed=0, measurement_noise_fraction=0.0)
+        for handle in nvml.devices:
+            nvml.set_utilization(handle, 1.0)
+        return nvml
+
+    def test_run_integrates_energy(self):
+        nvml = self._nvml(2)
+        sampler = PowerSampler(nvml, period_s=10.0)
+        sampler.run(3600.0)
+        # Two V100s at TDP for one hour = 2 * 250 W * 3600 s.
+        assert sampler.energy_j() == pytest.approx(2 * 250.0 * 3600.0, rel=1e-3)
+        assert nvml.total_energy_j() == pytest.approx(sampler.energy_j(), rel=1e-3)
+
+    def test_per_device_energy(self):
+        nvml = self._nvml(2)
+        sampler = PowerSampler(nvml, period_s=5.0)
+        sampler.run(100.0)
+        total = sampler.energy_j()
+        per_device = sampler.energy_j(0) + sampler.energy_j(1)
+        assert per_device == pytest.approx(total, rel=1e-9)
+
+    def test_partial_period_handled(self):
+        nvml = self._nvml(1)
+        sampler = PowerSampler(nvml, period_s=7.0)
+        sampler.run(10.0)
+        assert nvml.clock_s == pytest.approx(10.0)
+
+    def test_device_subset(self):
+        nvml = self._nvml(3)
+        sampler = PowerSampler(nvml, period_s=1.0, devices=[0, 2])
+        sampler.run(10.0)
+        assert sampler.energy_j(0) > 0
+        with pytest.raises(TelemetryError):
+            sampler.energy_j(1)
+
+    def test_invalid_period(self):
+        with pytest.raises(TelemetryError):
+            PowerSampler(self._nvml(1), period_s=0.0)
+
+    def test_mean_and_peak_power(self):
+        nvml = self._nvml(1)
+        sampler = PowerSampler(nvml, period_s=1.0)
+        sampler.run(60.0)
+        assert sampler.mean_power_w() == pytest.approx(250.0, rel=1e-6)
+        assert sampler.peak_power_w() == pytest.approx(250.0, rel=1e-6)
+
+    def test_power_trace_shapes(self):
+        nvml = self._nvml(1)
+        sampler = PowerSampler(nvml, period_s=1.0)
+        sampler.run(10.0)
+        times, powers = sampler.power_trace()
+        assert times.shape == powers.shape
+        assert times.shape[0] == len(sampler.samples)
+
+
+class TestFacilityMetrics:
+    def test_pue_basic(self):
+        assert power_usage_effectiveness(130.0, 100.0) == pytest.approx(1.3)
+
+    def test_pue_rejects_impossible(self):
+        with pytest.raises(DataError):
+            power_usage_effectiveness(90.0, 100.0)
+        with pytest.raises(DataError):
+            power_usage_effectiveness(100.0, 0.0)
+
+    def test_it_power_from_facility(self):
+        assert it_power_from_facility(130.0, 1.3) == pytest.approx(100.0)
+        with pytest.raises(DataError):
+            it_power_from_facility(130.0, 0.9)
+
+    def test_cue(self):
+        assert carbon_usage_effectiveness(300.0, 1.0) == pytest.approx(300.0)
+        with pytest.raises(DataError):
+            carbon_usage_effectiveness(-1.0, 1.0)
+
+    def test_ere_can_go_below_one(self):
+        ere = energy_reuse_effectiveness(130.0, 50.0, 100.0)
+        assert ere == pytest.approx(0.8)
+
+    def test_ere_rejects_reuse_above_facility(self):
+        with pytest.raises(DataError):
+            energy_reuse_effectiveness(100.0, 150.0, 100.0)
+
+    def test_wue(self):
+        assert water_usage_effectiveness(180.0, 100.0) == pytest.approx(1.8)
+        with pytest.raises(DataError):
+            water_usage_effectiveness(-1.0, 100.0)

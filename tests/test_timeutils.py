@@ -1,0 +1,143 @@
+"""Tests for repro.timeutils (simulation calendar)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError
+from repro.timeutils import (
+    MonthIndex,
+    SimulationCalendar,
+    days_in_month,
+    days_in_year,
+    hours_in_month,
+    hours_in_year,
+    is_leap_year,
+)
+
+
+class TestLeapYears:
+    def test_2020_is_leap(self):
+        assert is_leap_year(2020)
+
+    def test_2021_is_not_leap(self):
+        assert not is_leap_year(2021)
+
+    def test_centuries(self):
+        assert not is_leap_year(1900)
+        assert is_leap_year(2000)
+
+    def test_february_lengths(self):
+        assert days_in_month(2020, 2) == 29
+        assert days_in_month(2021, 2) == 28
+
+    def test_days_in_year(self):
+        assert days_in_year(2020) == 366
+        assert days_in_year(2021) == 365
+
+    def test_hours_in_year(self):
+        assert hours_in_year(2021) == 8760
+        assert hours_in_year(2020) == 8784
+
+    def test_invalid_month_rejected(self):
+        with pytest.raises(DataError):
+            days_in_month(2020, 13)
+
+
+class TestMonthIndex:
+    def test_label(self):
+        assert MonthIndex(2020, 7).label == "Jul 2020"
+
+    def test_next_rolls_over_year(self):
+        assert MonthIndex(2020, 12).next() == MonthIndex(2021, 1)
+
+    def test_invalid_month(self):
+        with pytest.raises(DataError):
+            MonthIndex(2020, 0)
+
+
+class TestSimulationCalendar:
+    def test_total_hours_two_years(self):
+        cal = SimulationCalendar(2020, 24)
+        assert cal.total_hours == hours_in_year(2020) + hours_in_year(2021)
+
+    def test_month_count(self):
+        cal = SimulationCalendar(2020, 5)
+        assert len(cal) == 5
+        assert [m.month for m in cal] == [1, 2, 3, 4, 5]
+
+    def test_month_start_hours_monotone(self):
+        cal = SimulationCalendar(2020, 12)
+        starts = [cal.month_start_hour(i) for i in range(12)]
+        assert starts == sorted(starts)
+        assert starts[0] == 0
+        assert starts[1] == 31 * 24
+
+    def test_month_of_hour(self):
+        cal = SimulationCalendar(2020, 3)
+        assert cal.month_of_hour(0.0) == 0
+        assert cal.month_of_hour(31 * 24) == 1
+        assert cal.month_of_hour(31 * 24 - 0.5) == 0
+
+    def test_month_of_hour_out_of_range(self):
+        cal = SimulationCalendar(2020, 2)
+        with pytest.raises(DataError):
+            cal.month_of_hour(cal.total_hours)
+        with pytest.raises(DataError):
+            cal.month_of_hour(-1.0)
+
+    def test_month_indices_vectorized_matches_scalar(self):
+        cal = SimulationCalendar(2020, 6)
+        hours = np.linspace(0, cal.total_hours - 1, 50)
+        vectorized = cal.month_indices_for_hours(hours)
+        scalar = np.array([cal.month_of_hour(h) for h in hours])
+        np.testing.assert_array_equal(vectorized, scalar)
+
+    def test_hour_grid_length(self):
+        cal = SimulationCalendar(2020, 2)
+        assert cal.hour_grid(1.0).shape[0] == cal.total_hours
+
+    def test_hour_grid_rejects_bad_step(self):
+        with pytest.raises(DataError):
+            SimulationCalendar(2020, 1).hour_grid(0.0)
+
+    def test_hour_of_year_resets_in_second_year(self):
+        cal = SimulationCalendar(2020, 24)
+        first_hour_2021 = cal.month_start_hour(12)
+        assert cal.hour_of_year(first_hour_2021) == pytest.approx(0.0)
+
+    def test_day_of_year(self):
+        cal = SimulationCalendar(2020, 12)
+        assert cal.day_of_year(0.0) == pytest.approx(0.0)
+        assert cal.day_of_year(48.0) == pytest.approx(2.0)
+
+    def test_hour_of_day(self):
+        cal = SimulationCalendar(2020, 1)
+        assert cal.hour_of_day(25.5) == pytest.approx(1.5)
+
+    def test_monthly_mean_constant_series(self):
+        cal = SimulationCalendar(2020, 3)
+        values = np.full(cal.total_hours, 5.0)
+        np.testing.assert_allclose(cal.monthly_mean(values), 5.0)
+
+    def test_monthly_sum_matches_lengths(self):
+        cal = SimulationCalendar(2020, 2)
+        values = np.ones(cal.total_hours)
+        sums = cal.monthly_sum(values)
+        assert sums[0] == pytest.approx(31 * 24)
+        assert sums[1] == pytest.approx(29 * 24)
+
+    def test_monthly_mean_rejects_wrong_length(self):
+        cal = SimulationCalendar(2020, 2)
+        with pytest.raises(DataError):
+            cal.monthly_mean(np.ones(10))
+
+    def test_labels_and_year_arrays(self):
+        cal = SimulationCalendar(2020, 13)
+        assert cal.labels()[0] == "Jan 2020"
+        assert cal.labels()[-1] == "Jan 2021"
+        assert cal.year_array()[-1] == 2021
+        assert cal.month_of_year_array()[-1] == 1
+
+    def test_rejects_zero_months(self):
+        with pytest.raises(DataError):
+            SimulationCalendar(2020, 0)

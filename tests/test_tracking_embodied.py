@@ -1,0 +1,85 @@
+"""Tests for embodied-carbon accounting."""
+
+import pytest
+
+from repro.errors import TrackingError
+from repro.tracking.embodied import (
+    HARDWARE_FOOTPRINTS,
+    EmbodiedCarbonModel,
+    HardwareFootprint,
+    TotalFootprint,
+    get_hardware_footprint,
+)
+
+
+class TestHardwareFootprint:
+    def test_catalogue_entries_valid(self):
+        for footprint in HARDWARE_FOOTPRINTS.values():
+            assert footprint.manufacturing_kg_co2e >= 0
+            assert footprint.lifetime_hours > 0
+
+    def test_lookup_case_insensitive(self):
+        assert get_hardware_footprint("v100").name == "V100"
+        with pytest.raises(TrackingError):
+            get_hardware_footprint("abacus")
+
+    def test_amortized_rate(self):
+        footprint = HardwareFootprint("X", manufacturing_kg_co2e=100.0, lifetime_years=1.0, typical_utilization=0.5)
+        assert footprint.amortized_kg_per_hour() == pytest.approx(100.0 / 8760.0)
+        assert footprint.amortized_kg_per_hour(per_useful_hour=True) == pytest.approx(100.0 / 4380.0)
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            HardwareFootprint("X", manufacturing_kg_co2e=-1.0)
+        with pytest.raises(TrackingError):
+            HardwareFootprint("X", manufacturing_kg_co2e=1.0, typical_utilization=0.0)
+
+
+class TestTotalFootprint:
+    def test_shares(self):
+        footprint = TotalFootprint(operational_kg=3.0, embodied_kg=1.0)
+        assert footprint.total_kg == pytest.approx(4.0)
+        assert footprint.embodied_share == pytest.approx(0.25)
+
+    def test_zero_total(self):
+        assert TotalFootprint(0.0, 0.0).embodied_share == 0.0
+
+
+class TestEmbodiedCarbonModel:
+    def test_rate_includes_server_share(self):
+        solo_gpu = get_hardware_footprint("V100").amortized_kg_per_hour(per_useful_hour=True)
+        model = EmbodiedCarbonModel("V100", gpus_per_server=4)
+        assert model.embodied_rate_kg_per_gpu_hour() > solo_gpu
+
+    def test_embodied_scales_with_gpu_hours(self):
+        model = EmbodiedCarbonModel("A100")
+        assert model.embodied_kg(200.0) == pytest.approx(2 * model.embodied_kg(100.0))
+
+    def test_total_footprint_combines_components(self):
+        model = EmbodiedCarbonModel("V100")
+        footprint = model.total_footprint(
+            gpu_hours=100.0, energy_j=100.0 * 250.0 * 3600.0, grid_intensity_g_per_kwh=300.0
+        )
+        assert footprint.operational_kg > 0
+        assert footprint.embodied_kg > 0
+        assert footprint.total_kg == pytest.approx(footprint.operational_kg + footprint.embodied_kg)
+
+    def test_embodied_dominates_on_clean_grid(self):
+        """On a near-zero-carbon grid the hardware's manufacturing footprint dominates."""
+        model = EmbodiedCarbonModel("V100")
+        clean = model.total_footprint(gpu_hours=100.0, energy_j=9e7, grid_intensity_g_per_kwh=20.0)
+        dirty = model.total_footprint(gpu_hours=100.0, energy_j=9e7, grid_intensity_g_per_kwh=500.0)
+        assert clean.embodied_share > dirty.embodied_share
+        assert clean.embodied_share > 0.5
+
+    def test_breakeven_intensity_plausible(self):
+        model = EmbodiedCarbonModel("V100")
+        breakeven = model.breakeven_intensity_g_per_kwh(mean_power_w=250.0)
+        # Somewhere between a very clean grid and the world average.
+        assert 10.0 < breakeven < 500.0
+
+    def test_validation(self):
+        with pytest.raises(TrackingError):
+            EmbodiedCarbonModel("V100", gpus_per_server=0)
+        with pytest.raises(Exception):
+            EmbodiedCarbonModel("V100").embodied_kg(-1.0)
