@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""The unified experiment API: registries, sessions, structured results.
+
+Shows the three layers the `repro.experiments` package adds:
+
+1. the **registries** — named scenarios/sites and the experiment catalogue
+   that also generates the ``greenhpc`` CLI;
+2. a custom **`ScenarioSpec`** — declare *which world* to simulate once;
+3. an **`ExperimentSession`** — builds the world's substrates a single time
+   and runs every registered experiment against them, each returning a
+   uniform `ExperimentResult` (rows + scalars, JSON-serializable).
+
+Run with::
+
+    python examples/experiment_session.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    ExperimentSession,
+    ScenarioSpec,
+    WorkloadSpec,
+    get_site,
+    list_experiments,
+    list_scenarios,
+)
+
+
+def show_registries() -> None:
+    """1. What is available out of the box."""
+    print("Registered scenarios:")
+    for spec in list_scenarios():
+        print(f"  {spec.name:<14} seed={spec.seed:<10} months={spec.n_months:<4} {spec.description}")
+    print()
+    print("Registered experiments (each is also a `greenhpc` subcommand):")
+    for definition in list_experiments():
+        flags = " ".join(param.cli_flag for param in definition.params)
+        print(f"  {definition.name:<10} {definition.help}" + (f"  [{flags}]" if flags else ""))
+    print()
+
+
+def build_custom_spec() -> ScenarioSpec:
+    """2. A custom world: one year, hot desert site, A100 refresh."""
+    spec = ScenarioSpec(
+        name="phoenix-a100",
+        seed=7,
+        n_months=12,
+        site=get_site("phoenix-az"),
+        workload=WorkloadSpec(gpu_model="A100"),
+        description="A100 facility in a hot climate, one simulated year",
+    )
+    print(f"Custom scenario: {spec.name} ({spec.description})")
+    print()
+    return spec
+
+
+def run_everything(spec: ScenarioSpec) -> None:
+    """3. One session, every experiment, substrates built exactly once."""
+    session = ExperimentSession(spec)
+    results = session.run_many(
+        ["figures", "table1", "powercap", "shifting", "deadlines", "stress", "optimize"],
+        params_by_name={
+            "shifting": {"signal": "price"},
+            "optimize": {"jobs": 60, "horizon_days": 3.0},
+        },
+    )
+    for name, result in results.items():
+        headline = ", ".join(
+            f"{key}={value:.3g}" if isinstance(value, float) else f"{key}={value}"
+            for key, value in list(result.scalars.items())[:3]
+        )
+        print(f"  {name:<10} {len(result.rows):>3} rows   {headline}")
+    print()
+    print(f"scenario substrate builds for all seven experiments: {session.scenario_builds}")
+    print()
+    # Every result serializes to strict JSON (what `greenhpc --json` prints).
+    payload = results["shifting"].to_json(indent=2)
+    print("shifting result as JSON (first lines):")
+    print("\n".join(payload.splitlines()[:8]) + "\n  ...")
+
+
+def main() -> None:
+    print("=" * 72)
+    print("Unified experiment API: registries, ScenarioSpec, ExperimentSession")
+    print("=" * 72)
+    show_registries()
+    spec = build_custom_spec()
+    run_everything(spec)
+
+
+if __name__ == "__main__":
+    main()

@@ -23,22 +23,50 @@ Subpackages
     figure/table builders (Fig. 1-5, Table I).
 ``repro.parallel``
     Process-pool parameter sweeps.
+``repro.experiments``
+    The unified experiment API: declarative scenarios, the experiment
+    registry, and the substrate-caching session behind the ``greenhpc`` CLI.
 
 Quick start
 -----------
->>> from repro import GreenDatacenterModel
->>> model = GreenDatacenterModel()
->>> figures = model.monthly_figures()
->>> figures["fig2"].correlation < 0          # consumption vs. green share
+Open an :class:`~repro.experiments.ExperimentSession` over a scenario (a
+registered name, or a custom :class:`~repro.experiments.ScenarioSpec`) and
+run any registered experiment; every analysis returns a structured
+:class:`~repro.experiments.ExperimentResult`:
+
+>>> from repro import ExperimentSession
+>>> session = ExperimentSession("default")        # the paper's 2020-2021 world
+>>> figures = session.run("figures")
+>>> figures.scalar("fig2_correlation") < 0        # consumption vs. green share
 True
+>>> shifting = session.run("shifting", signal="price")   # substrates reused
+>>> sorted(shifting.to_dict())
+['experiment', 'notes', 'params', 'rows', 'scalars', 'spec']
+
+The same experiments are available from the command line (one subcommand per
+registered experiment, with shared ``--seed/--months/--site/--json`` flags)::
+
+    greenhpc figures --months 12 --json
+
+The legacy :class:`GreenDatacenterModel` facade remains as a thin shim over
+the session API.
 """
 
 from .config import ExperimentConfig, FacilityConfig, SiteConfig
 from .core.framework import GreenDatacenterModel
 from .errors import GreenHPCError
+from .experiments import (
+    ExperimentResult,
+    ExperimentSession,
+    ScenarioSpec,
+    get_scenario,
+    list_experiments,
+    list_scenarios,
+    register_scenario,
+)
 from .timeutils import SimulationCalendar
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 #: Citation of the reproduced paper.
 PAPER_REFERENCE = (
@@ -57,4 +85,11 @@ __all__ = [
     "SiteConfig",
     "SimulationCalendar",
     "GreenDatacenterModel",
+    "ExperimentSession",
+    "ExperimentResult",
+    "ScenarioSpec",
+    "register_scenario",
+    "get_scenario",
+    "list_scenarios",
+    "list_experiments",
 ]

@@ -29,14 +29,21 @@ from typing import Optional
 
 import numpy as np
 
-from ..climate.weather import WeatherModel
+from ..climate.weather import WeatherConfig, WeatherModel
+from ..config import SiteConfig
 from ..errors import DataError
+from ..grid.fuel_mix import FuelMixConfig
 from ..grid.iso_ne import IsoNeLikeGrid
+from ..grid.pricing import LmpPriceConfig
 from ..rng import SeedLike
 from ..timeutils import SimulationCalendar
 from ..workloads.conferences import ConferenceCalendar
 from ..workloads.demand import DeadlineDemandModel
-from ..workloads.supercloud import SuperCloudTraceGenerator, SuperCloudLoadTrace
+from ..workloads.supercloud import (
+    SuperCloudLoadTrace,
+    SuperCloudTraceConfig,
+    SuperCloudTraceGenerator,
+)
 from ..workloads.trends import ComputeTrendModel, EraFit
 from ..cluster.cooling import CoolingModel
 from .correlation import best_lag, pearson_correlation, spearman_correlation
@@ -85,17 +92,29 @@ class SuperCloudScenario:
         start_year: int = 2020,
         n_months: int = 24,
         conferences: Optional[ConferenceCalendar] = None,
+        site: Optional[SiteConfig] = None,
+        trace_config: Optional[SuperCloudTraceConfig] = None,
+        fuel_config: Optional[FuelMixConfig] = None,
+        price_config: Optional[LmpPriceConfig] = None,
     ) -> "SuperCloudScenario":
-        """Construct the standard 2020-2021 SuperCloud-like scenario."""
+        """Construct the standard 2020-2021 SuperCloud-like scenario.
+
+        ``site``, ``trace_config``, ``fuel_config`` and ``price_config`` let a
+        :class:`~repro.experiments.spec.ScenarioSpec` vary the climate, the
+        facility hardware and the grid; the defaults reproduce the paper's
+        Holyoke-like world exactly.
+        """
         calendar = SimulationCalendar(start_year=start_year, n_months=n_months)
-        weather_model = WeatherModel(seed=seed)
+        weather_model = WeatherModel(
+            WeatherConfig(site=site) if site is not None else None, seed=seed
+        )
         weather_hourly = weather_model.hourly_temperature_c(calendar)
         demand_model = DeadlineDemandModel(conferences=conferences, seed=seed)
         generator = SuperCloudTraceGenerator(
-            demand_model=demand_model, cooling=CoolingModel(), seed=seed
+            trace_config, demand_model=demand_model, cooling=CoolingModel(), seed=seed
         )
         load_trace = generator.generate_load_trace(calendar, weather_hourly)
-        grid = IsoNeLikeGrid(calendar, seed=seed)
+        grid = IsoNeLikeGrid(calendar, fuel_config=fuel_config, price_config=price_config, seed=seed)
         return cls(
             calendar=calendar,
             weather_hourly_c=weather_hourly,

@@ -1,51 +1,77 @@
-"""Command-line interface.
+"""Command-line interface, generated from the experiment registry.
 
-``greenhpc`` exposes the toolkit's headline analyses so an operator (or a
-reviewer reproducing the paper) can regenerate each figure's series and the
-main policy comparisons without writing Python:
+``greenhpc`` exposes every experiment registered in
+:mod:`repro.experiments` as a subcommand, so an operator (or a reviewer
+reproducing the paper) can run each analysis without writing Python::
 
-* ``greenhpc figures`` — print the Fig. 2-5 monthly series and their statistics;
-* ``greenhpc table1`` — print the reproduced Table I;
-* ``greenhpc powercap`` — the power-cap energy/time trade-off table;
-* ``greenhpc shifting`` — carbon/price-aware load-shifting savings;
-* ``greenhpc deadlines`` — the deadline-restructuring comparison;
-* ``greenhpc stress`` — the stress-test battery.
+    greenhpc figures                    # the Fig. 2-5 monthly series
+    greenhpc table1                     # the reproduced Table I
+    greenhpc powercap                   # the power-cap energy/time trade-off
+    greenhpc shifting --signal price    # load-shifting savings
+    greenhpc deadlines                  # deadline restructuring comparison
+    greenhpc stress                     # the stress-test battery
+    greenhpc optimize --jobs 120        # the Eq. 1 operating-point search
+
+Shared flags are handled once for every subcommand: ``--seed``, ``--months``
+and ``--site`` override the chosen ``--scenario``'s spec, and ``--json``
+switches the output from aligned text tables to a machine-readable
+:class:`~repro.experiments.ExperimentResult` dump.  Registering a new
+experiment automatically gives it a CLI surface — this module contains no
+per-command wiring.
 """
 
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 from typing import Iterable, Sequence
 
-from .analysis.figures import (
-    fig2_power_vs_green_share,
-    fig3_price_vs_green_share,
-    fig4_power_vs_temperature,
-    fig5_energy_vs_deadlines,
-    SuperCloudScenario,
+from .errors import GreenHPCError
+from .experiments import (
+    ExperimentResult,
+    ExperimentSession,
+    get_experiment,
+    get_scenario,
+    get_site,
+    list_experiments,
+    scenario_names,
+    site_names,
 )
-from .analysis.tables import table1_conferences
-from .core.framework import GreenDatacenterModel
-from .core.policies import LoadShiftingPolicy
-from .scheduler.powercap import powercap_energy_tradeoff
 
 __all__ = ["main", "build_parser"]
 
 
+def _format_cell(value: object) -> str:
+    """Render one table cell, tolerating missing and non-finite values."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        return f"{value:.4g}"
+    return str(value)
+
+
 def _print_rows(rows: Iterable[dict], *, stream=None) -> None:
-    """Print dict records as an aligned text table."""
+    """Print dict records as an aligned text table.
+
+    Robust to ragged records (the column set is the union over all rows) and
+    to ``None``/NaN values, which render as placeholders instead of crashing.
+    """
     stream = stream or sys.stdout
     rows = list(rows)
     if not rows:
         print("(no rows)", file=stream)
         return
-    keys = list(rows[0].keys())
-    formatted = []
+    keys: list[str] = []
     for row in rows:
-        formatted.append(
-            {k: (f"{v:.4g}" if isinstance(v, float) else str(v)) for k, v in row.items()}
-        )
+        for key in row:
+            if key not in keys:
+                keys.append(key)
+    formatted = [{k: _format_cell(row.get(k)) for k in keys} for row in rows]
     widths = {k: max(len(k), *(len(r[k]) for r in formatted)) for k in keys}
     header = "  ".join(k.ljust(widths[k]) for k in keys)
     print(header, file=stream)
@@ -54,120 +80,106 @@ def _print_rows(rows: Iterable[dict], *, stream=None) -> None:
         print("  ".join(row[k].ljust(widths[k]) for k in keys), file=stream)
 
 
+def _render_text(result: ExperimentResult, *, stream=None) -> None:
+    """Human-oriented rendering: the rows table plus summary lines."""
+    stream = stream or sys.stdout
+    _print_rows(result.rows, stream=stream)
+    extras = list(result.notes) or [
+        f"{key} = {_format_cell(value)}" for key, value in result.scalars.items()
+    ]
+    if extras:
+        print(file=stream)
+        for line in extras:
+            print(line, file=stream)
+
+
+def _add_shared_arguments(parser: argparse.ArgumentParser, *, in_subcommand: bool) -> None:
+    """Add the flags every subcommand shares.
+
+    They are registered on the top-level parser (with real defaults) *and* on
+    each subparser (with ``SUPPRESS`` defaults, so a subcommand-level flag
+    overrides the top-level value but an absent one does not reset it).  This
+    makes both ``greenhpc --months 12 figures`` and
+    ``greenhpc figures --months 12`` work.
+    """
+    suppress = argparse.SUPPRESS
+
+    def default(value):
+        return suppress if in_subcommand else value
+
+    parser.add_argument(
+        "--scenario",
+        default=default("default"),
+        choices=scenario_names(),
+        help="registered scenario to start from",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=default(None), help="master random seed override"
+    )
+    parser.add_argument(
+        "--months", type=int, default=default(None), help="simulation horizon override in months"
+    )
+    parser.add_argument(
+        "--site", default=default(None), choices=site_names(), help="registered site override"
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        default=default(False),
+        help="emit the structured ExperimentResult as JSON instead of text tables",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
-    """The CLI argument parser (exposed for testing)."""
+    """The CLI argument parser, with one subcommand per registered experiment."""
     parser = argparse.ArgumentParser(
         prog="greenhpc",
         description="Reproduction toolkit for 'A Green(er) World for A.I.' (IPDPSW 2022).",
     )
-    parser.add_argument("--seed", type=int, default=0, help="master random seed")
-    parser.add_argument("--months", type=int, default=24, help="simulation horizon in months")
+    _add_shared_arguments(parser, in_subcommand=False)
     subparsers = parser.add_subparsers(dest="command", required=True)
-    subparsers.add_parser("figures", help="print the Fig. 2-5 monthly series")
-    subparsers.add_parser("table1", help="print the reproduced Table I")
-    subparsers.add_parser("powercap", help="print the power-cap energy/time trade-off")
-    shifting = subparsers.add_parser("shifting", help="carbon/price-aware load shifting savings")
-    shifting.add_argument("--deferrable", type=float, default=0.3, help="deferrable load fraction")
-    shifting.add_argument("--window", type=int, default=24, help="shifting window in hours")
-    subparsers.add_parser("deadlines", help="deadline restructuring comparison")
-    subparsers.add_parser("stress", help="run the stress-test battery")
+    for definition in list_experiments():
+        subparser = subparsers.add_parser(definition.name, help=definition.help)
+        _add_shared_arguments(subparser, in_subcommand=True)
+        for param in definition.params:
+            subparser.add_argument(
+                param.cli_flag,
+                dest=param.name,
+                type=param.type,
+                default=param.default,
+                choices=param.choices,
+                help=param.help or None,
+            )
     return parser
-
-
-def _command_figures(seed: int, months: int) -> int:
-    scenario = SuperCloudScenario.build(seed=seed, n_months=months)
-    fig2 = fig2_power_vs_green_share(scenario)
-    fig3 = fig3_price_vs_green_share(scenario)
-    fig4 = fig4_power_vs_temperature(scenario)
-    rows = []
-    for i, label in enumerate(fig2.month_labels):
-        rows.append(
-            {
-                "month": label,
-                "power_kw": float(fig2.monthly_power_kw[i]),
-                "solar_wind_pct": float(fig2.monthly_renewable_share_pct[i]),
-                "price_per_mwh": float(fig3.monthly_price_per_mwh[i]),
-                "temperature_f": float(fig4.monthly_temperature_f[i]),
-            }
-        )
-    _print_rows(rows)
-    print()
-    print(f"Fig.2 corr(power, green share)      = {fig2.correlation:+.3f}")
-    print(f"Fig.3 corr(price, green share)      = {fig3.correlation:+.3f}")
-    print(f"Fig.4 spearman(power, temperature)  = {fig4.spearman:+.3f}")
-    if months >= 16:
-        fig5 = fig5_energy_vs_deadlines(scenario)
-        print(f"Fig.5 corr(energy, deadlines)       = {fig5.same_month_correlation:+.3f}")
-        print(f"Fig.5 early-2021 / early-2020 ratio = {fig5.early_2021_vs_2020_ratio:.3f}")
-    return 0
-
-
-def _command_table1() -> int:
-    table = table1_conferences()
-    print(table.as_markdown())
-    print()
-    print(f"conferences: {table.n_conferences}")
-    print(f"spring/summer deadline share: {table.spring_summer_fraction:.0%}")
-    return 0
-
-
-def _command_powercap() -> int:
-    rows = [
-        {
-            "cap_fraction": p.cap_fraction,
-            "cap_w": p.cap_w,
-            "runtime_penalty_pct": p.runtime_penalty_pct,
-            "energy_savings_pct": p.energy_savings_pct,
-        }
-        for p in powercap_energy_tradeoff()
-    ]
-    _print_rows(rows)
-    return 0
-
-
-def _command_shifting(seed: int, months: int, deferrable: float, window: int) -> int:
-    model = GreenDatacenterModel()
-    outcome = model.load_shifting(
-        LoadShiftingPolicy(deferrable_fraction=deferrable, window_h=window, signal="carbon")
-    )
-    _print_rows([dict(outcome.summary())])
-    return 0
-
-
-def _command_deadlines(seed: int, months: int) -> int:
-    model = GreenDatacenterModel()
-    outcomes = model.deadline_options()
-    _print_rows([dict(o.summary()) for o in outcomes.values()])
-    return 0
-
-
-def _command_stress(seed: int, months: int) -> int:
-    model = GreenDatacenterModel()
-    results = model.stress_tests()
-    from .core.stress import StressTestHarness
-
-    _print_rows(StressTestHarness.degradation_table(results))
-    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "figures":
-        return _command_figures(args.seed, args.months)
-    if args.command == "table1":
-        return _command_table1()
-    if args.command == "powercap":
-        return _command_powercap()
-    if args.command == "shifting":
-        return _command_shifting(args.seed, args.months, args.deferrable, args.window)
-    if args.command == "deadlines":
-        return _command_deadlines(args.seed, args.months)
-    if args.command == "stress":
-        return _command_stress(args.seed, args.months)
-    parser.error(f"unknown command {args.command!r}")
-    return 2
+    try:
+        definition = get_experiment(args.command)
+        spec = get_scenario(args.scenario)
+        overrides: dict[str, object] = {}
+        if args.seed is not None:
+            overrides["seed"] = args.seed
+        if args.months is not None:
+            overrides["n_months"] = args.months
+        if args.site is not None:
+            overrides["site"] = get_site(args.site)
+        if overrides:
+            spec = spec.replace(**overrides)
+        session = ExperimentSession(spec)
+        params = {param.name: getattr(args, param.name) for param in definition.params}
+        result = definition.run(session, **params)
+    except GreenHPCError as exc:
+        print(f"greenhpc: error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(result.to_json(indent=2))
+    else:
+        _render_text(result)
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -11,6 +11,8 @@ configs.
 
 from __future__ import annotations
 
+import math
+from collections.abc import Mapping as MappingABC
 from dataclasses import dataclass, field, fields, replace
 from typing import Any, Mapping
 
@@ -25,6 +27,7 @@ __all__ = [
     "FacilityConfig",
     "ExperimentConfig",
     "config_to_dict",
+    "config_to_jsonable",
     "config_replace",
 ]
 
@@ -192,6 +195,28 @@ def config_to_dict(config: Any) -> dict[str, Any]:
     if not hasattr(config, "__dataclass_fields__"):
         raise ConfigurationError(f"expected a dataclass config, got {type(config)!r}")
     return {f.name: getattr(config, f.name) for f in fields(config)}
+
+
+def config_to_jsonable(value: Any) -> Any:
+    """Deep-convert a config (or any nested container of configs) to JSON-ready values.
+
+    Dataclasses become dictionaries, tuples/sets become lists, numpy arrays and
+    scalars become their Python equivalents (via ``tolist``), and non-finite
+    floats become ``None`` so the output is valid strict JSON.
+    """
+    if hasattr(value, "__dataclass_fields__"):
+        return {f.name: config_to_jsonable(getattr(value, f.name)) for f in fields(value)}
+    if isinstance(value, MappingABC):
+        return {str(k): config_to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [config_to_jsonable(v) for v in value]
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if hasattr(value, "tolist"):  # numpy arrays and scalars
+        return config_to_jsonable(value.tolist())
+    return value
 
 
 def config_replace(config: Any, **changes: Any) -> Any:

@@ -1,8 +1,10 @@
-"""The :class:`GreenDatacenterModel` facade.
+"""The :class:`GreenDatacenterModel` facade (back-compat shim).
 
-A convenience object that wires the substrates together the way the paper's
-narrative does: one facility, one site, one grid, one conference-driven
-demand stream — and exposes the framework's questions as methods:
+Historically this object wired the substrates together itself; it is now a
+thin shim over :class:`repro.experiments.ExperimentSession`, which owns the
+scenario cache and the experiment registry.  The methods keep their original
+signatures and (for identical configuration/seed) their original results, so
+existing examples and notebooks continue to work:
 
 * ``monthly_figures()`` — the Fig. 2-5 series for this facility;
 * ``opportunity_cost()`` — the Section II.A head-room;
@@ -11,49 +13,43 @@ demand stream — and exposes the framework's questions as methods:
 * ``stress_tests()`` — the Section II.B battery;
 * ``optimize_operations()`` — the Eq. 1 search on a job-level trace.
 
-Examples and the CLI use this facade; benchmarks call the underlying pieces
-directly so each experiment stays independently reproducible.
+New code should use :class:`~repro.experiments.ExperimentSession` directly —
+it exposes the same analyses as registered experiments returning structured
+:class:`~repro.experiments.ExperimentResult` objects.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 import numpy as np
 
-from ..climate.weather import WeatherModel
-from ..cluster.cooling import CoolingModel
-from ..cluster.simulator import SimulationConfig
 from ..config import ExperimentConfig, FacilityConfig, SiteConfig
 from ..grid.iso_ne import IsoNeLikeGrid
 from ..scheduler.job import Job
 from ..timeutils import SimulationCalendar
-from ..workloads.demand import DeadlineDemandModel
-from ..workloads.supercloud import SuperCloudTraceConfig, SuperCloudTraceGenerator
 from ..analysis.figures import (
-    Fig2Result,
-    Fig3Result,
-    Fig4Result,
-    Fig5Result,
     SuperCloudScenario,
     fig2_power_vs_green_share,
     fig3_price_vs_green_share,
     fig4_power_vs_temperature,
     fig5_energy_vs_deadlines,
 )
-from .objective import ActivityConstraint, ActivityKind, EnergyObjective, ObjectiveKind
-from .optimizer import DatacenterOptimizer, OptimizationOutcome
+from .objective import ObjectiveKind
+from .optimizer import OptimizationOutcome
 from .levers import OperatingPoint
 from .opportunity_cost import OpportunityCostReport, opportunity_cost_of_profile
 from .policies import (
     DeadlinePolicyOutcome,
     LoadShiftingPolicy,
     ShiftingOutcome,
-    evaluate_deadline_restructuring,
     evaluate_load_shifting,
 )
-from .stress import StressTestHarness, StressTestResult
+from .stress import StressTestResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..experiments.session import ExperimentSession
 
 __all__ = ["GreenDatacenterModel"]
 
@@ -75,10 +71,24 @@ class GreenDatacenterModel:
     site: SiteConfig = field(default_factory=SiteConfig)
 
     def __post_init__(self) -> None:
+        # Imported lazily: repro.core.__init__ imports this module while the
+        # experiments package (which imports repro.core submodules) may still
+        # be mid-import.
+        from ..experiments.session import ExperimentSession
+        from ..experiments.spec import ScenarioSpec
+
+        spec = ScenarioSpec(
+            name=self.experiment.label or "model",
+            seed=self.experiment.seed,
+            start_year=self.experiment.start_year,
+            n_months=self.experiment.n_months,
+            site=self.site,
+            facility=self.facility,
+        )
+        self.session: "ExperimentSession" = ExperimentSession(spec)
         self.calendar = SimulationCalendar(
             start_year=self.experiment.start_year, n_months=self.experiment.n_months
         )
-        self._scenario: Optional[SuperCloudScenario] = None
 
     # ------------------------------------------------------------------
     # Shared scenario
@@ -86,18 +96,12 @@ class GreenDatacenterModel:
     @property
     def scenario(self) -> SuperCloudScenario:
         """The shared SuperCloud-like scenario (built lazily, then cached)."""
-        if self._scenario is None:
-            self._scenario = SuperCloudScenario.build(
-                seed=self.experiment.seed,
-                start_year=self.experiment.start_year,
-                n_months=self.experiment.n_months,
-            )
-        return self._scenario
+        return self.session.scenario()
 
     @property
     def grid(self) -> IsoNeLikeGrid:
         """The grid model behind the scenario."""
-        return self.scenario.grid
+        return self.session.grid
 
     # ------------------------------------------------------------------
     # Figures
@@ -119,7 +123,7 @@ class GreenDatacenterModel:
     # ------------------------------------------------------------------
     def hourly_facility_load_kwh(self) -> np.ndarray:
         """The facility's hourly energy profile in kWh (1-hour steps)."""
-        return self.scenario.load_trace.facility_power_w / 1e3
+        return self.session.hourly_facility_load_kwh()
 
     def opportunity_cost(
         self, *, deferrable_fraction: float = 0.3, window_h: int = 24
@@ -147,11 +151,19 @@ class GreenDatacenterModel:
         self, options: Sequence[str] = ("actual", "uniform", "winter", "rolling")
     ) -> dict[str, DeadlinePolicyOutcome]:
         """Compare the deadline-restructuring options on this facility."""
+        from ..workloads.supercloud import SuperCloudTraceConfig
+        from .policies import evaluate_deadline_restructuring
+
+        scenario = self.scenario
         return evaluate_deadline_restructuring(
             options=options,
             seed=self.experiment.seed,
             start_year=self.experiment.start_year,
             n_months=self.experiment.n_months,
+            demand_model=scenario.demand_model,
+            weather_hourly_c=scenario.weather_hourly_c,
+            grid=scenario.grid,
+            trace_config=SuperCloudTraceConfig(facility=self.facility),
         )
 
     # ------------------------------------------------------------------
@@ -159,11 +171,17 @@ class GreenDatacenterModel:
     # ------------------------------------------------------------------
     def stress_tests(self) -> dict[str, StressTestResult]:
         """Run the standard stress battery on this facility."""
+        from ..workloads.supercloud import SuperCloudTraceConfig
+        from .stress import StressTestHarness
+
+        scenario = self.scenario
         harness = StressTestHarness(
             start_year=self.experiment.start_year,
             n_months=self.experiment.n_months,
             seed=self.experiment.seed,
             trace_config=SuperCloudTraceConfig(facility=self.facility),
+            baseline_weather_c=scenario.weather_hourly_c,
+            grid=scenario.grid,
         )
         return harness.run_battery()
 
@@ -172,12 +190,7 @@ class GreenDatacenterModel:
     # ------------------------------------------------------------------
     def generate_job_trace(self, *, n_jobs: int = 300, horizon_h: float = 7 * 24.0) -> list[Job]:
         """A SuperCloud-like job-level trace for scheduler experiments."""
-        generator = SuperCloudTraceGenerator(
-            SuperCloudTraceConfig(facility=self.facility),
-            demand_model=DeadlineDemandModel(seed=self.experiment.seed),
-            seed=self.experiment.seed,
-        )
-        return generator.generate_jobs(n_jobs=n_jobs, horizon_h=horizon_h)
+        return self.session.job_trace(n_jobs=n_jobs, horizon_h=horizon_h)
 
     def optimize_operations(
         self,
@@ -188,38 +201,11 @@ class GreenDatacenterModel:
         points: Sequence[OperatingPoint] | None = None,
         objective_kind: ObjectiveKind = ObjectiveKind.FACILITY_ENERGY_KWH,
     ) -> OptimizationOutcome:
-        """Run the Eq. 1 search on a job trace.
-
-        ``activity_floor_fraction`` sets α as a fraction of the baseline
-        (uncapped backfill) delivered GPU-hours, which is how an operator
-        would phrase "no more than a 10% hit to throughput".
-        """
-        trace = list(jobs) if jobs is not None else self.generate_job_trace(horizon_h=horizon_h)
-        weather = WeatherModel(seed=self.experiment.seed).hourly_temperature_c(self.calendar)
-        simulation_config = SimulationConfig(horizon_h=horizon_h, tick_h=1.0)
-
-        # Baseline run to set alpha.
-        baseline_optimizer = DatacenterOptimizer(
-            self.facility,
-            EnergyObjective(kind=objective_kind),
-            ActivityConstraint(kind=ActivityKind.DELIVERED_GPU_HOURS, alpha=0.0),
-            simulation_config=simulation_config,
-            weather_hourly_c=weather,
-            cooling=CoolingModel(),
-            grid=self.grid,
+        """Run the Eq. 1 search on a job trace (see ``ExperimentSession``)."""
+        return self.session.optimize_operations(
+            jobs,
+            horizon_h=horizon_h,
+            activity_floor_fraction=activity_floor_fraction,
+            points=points,
+            objective_kind=objective_kind,
         )
-        baseline_point = OperatingPoint(policy_name="backfill")
-        baseline_result = baseline_optimizer.evaluate_point(baseline_point, trace)
-        alpha = activity_floor_fraction * baseline_result.result.delivered_gpu_hours
-
-        optimizer = DatacenterOptimizer(
-            self.facility,
-            EnergyObjective(kind=objective_kind),
-            ActivityConstraint(kind=ActivityKind.DELIVERED_GPU_HOURS, alpha=alpha),
-            simulation_config=simulation_config,
-            weather_hourly_c=weather,
-            cooling=CoolingModel(),
-            grid=self.grid,
-            baseline_point=baseline_point,
-        )
-        return optimizer.optimize(trace, points=points)

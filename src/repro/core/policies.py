@@ -26,7 +26,7 @@ from ..grid.iso_ne import IsoNeLikeGrid
 from ..timeutils import SimulationCalendar
 from ..workloads.conferences import ConferenceCalendar
 from ..workloads.demand import DeadlineDemandModel
-from ..workloads.supercloud import SuperCloudTraceGenerator
+from ..workloads.supercloud import SuperCloudTraceConfig, SuperCloudTraceGenerator
 from ..climate.weather import WeatherModel
 
 __all__ = [
@@ -226,16 +226,29 @@ def evaluate_deadline_restructuring(
     start_year: int = 2020,
     n_months: int = 24,
     demand_model: Optional[DeadlineDemandModel] = None,
+    weather_hourly_c: Optional[np.ndarray] = None,
+    grid: Optional[IsoNeLikeGrid] = None,
+    trace_config: Optional[SuperCloudTraceConfig] = None,
 ) -> dict[str, DeadlinePolicyOutcome]:
     """Evaluate the Section III deadline-calendar options on identical substrates.
 
     Every option shares the same weather, grid and demand parameters; only the
     conference calendar changes, so differences in energy/carbon/cost are
-    attributable to the deadline distribution alone.
+    attributable to the deadline distribution alone.  ``weather_hourly_c``,
+    ``grid`` and ``trace_config`` let a session reuse its cached substrates;
+    when omitted they are derived from ``seed`` with default parameters.
     """
     calendar = SimulationCalendar(start_year=start_year, n_months=n_months)
-    weather = WeatherModel(seed=seed).hourly_temperature_c(calendar)
-    grid = IsoNeLikeGrid(calendar, seed=seed)
+    if weather_hourly_c is not None:
+        weather = np.asarray(weather_hourly_c, dtype=float)
+        if weather.shape != (calendar.total_hours,):
+            raise OptimizationError(
+                f"weather_hourly_c must have {calendar.total_hours} hourly values, "
+                f"got {weather.shape}"
+            )
+    else:
+        weather = WeatherModel(seed=seed).hourly_temperature_c(calendar)
+    grid = grid if grid is not None else IsoNeLikeGrid(calendar, seed=seed)
     base_demand = demand_model or DeadlineDemandModel(seed=seed)
     base_conferences = base_demand.conferences
 
@@ -246,7 +259,7 @@ def evaluate_deadline_restructuring(
         else:
             conferences = base_conferences.restructured(option)
         demand = base_demand.with_calendar(conferences)
-        generator = SuperCloudTraceGenerator(demand_model=demand, seed=seed)
+        generator = SuperCloudTraceGenerator(trace_config, demand_model=demand, seed=seed)
         trace = generator.generate_load_trace(calendar, weather)
 
         hourly_kwh = trace.facility_power_w / 1e3  # 1-hour steps -> kWh per hour

@@ -17,6 +17,7 @@ import numpy as np
 
 from ..climate.stress_scenarios import STANDARD_STRESS_SCENARIOS, StressScenarioSpec
 from ..climate.weather import WeatherModel
+from ..config import config_replace
 from ..cluster.cooling import CoolingModel
 from ..errors import SimulationError
 from ..grid.iso_ne import IsoNeLikeGrid
@@ -69,6 +70,11 @@ class StressTestHarness:
         Master seed shared by every scenario so differences are scenario-driven.
     trace_config / demand_config:
         Facility and demand parameters.
+    baseline_weather_c / grid:
+        Optional pre-built baseline substrates (e.g. from an
+        :class:`~repro.experiments.session.ExperimentSession`'s cached
+        scenario); when omitted they are derived from ``seed`` exactly as the
+        session would derive them.
     """
 
     def __init__(
@@ -79,6 +85,8 @@ class StressTestHarness:
         seed: int = 0,
         trace_config: Optional[SuperCloudTraceConfig] = None,
         demand_config: Optional[DeadlineDemandConfig] = None,
+        baseline_weather_c: Optional[np.ndarray] = None,
+        grid: Optional[IsoNeLikeGrid] = None,
     ) -> None:
         if n_months <= 0:
             raise SimulationError("n_months must be positive")
@@ -86,8 +94,19 @@ class StressTestHarness:
         self.seed = seed
         self.trace_config = trace_config or SuperCloudTraceConfig()
         self.demand_config = demand_config or DeadlineDemandConfig()
-        self._baseline_weather = WeatherModel(seed=seed).hourly_temperature_c(self.calendar)
-        self._grid = IsoNeLikeGrid(self.calendar, seed=seed)
+        if baseline_weather_c is not None:
+            baseline_weather_c = np.asarray(baseline_weather_c, dtype=float)
+            if baseline_weather_c.shape != (self.calendar.total_hours,):
+                raise SimulationError(
+                    f"baseline_weather_c must have {self.calendar.total_hours} hourly values, "
+                    f"got {baseline_weather_c.shape}"
+                )
+        self._baseline_weather = (
+            baseline_weather_c
+            if baseline_weather_c is not None
+            else WeatherModel(seed=seed).hourly_temperature_c(self.calendar)
+        )
+        self._grid = grid if grid is not None else IsoNeLikeGrid(self.calendar, seed=seed)
 
     # ------------------------------------------------------------------
     # Single scenario
@@ -98,19 +117,11 @@ class StressTestHarness:
         if scenario.climate is not None:
             weather = scenario.climate.apply(self.calendar, weather)
 
-        demand_config = DeadlineDemandConfig(
+        demand_config = config_replace(
+            self.demand_config,
             baseline_occupancy=min(
                 0.97, self.demand_config.baseline_occupancy * scenario.demand_multiplier
             ),
-            annual_growth=self.demand_config.annual_growth,
-            deadline_boost_per_conference=self.demand_config.deadline_boost_per_conference,
-            anticipation_time_constant_days=self.demand_config.anticipation_time_constant_days,
-            post_deadline_relief_days=self.demand_config.post_deadline_relief_days,
-            holiday_dip=self.demand_config.holiday_dip,
-            summer_dip=self.demand_config.summer_dip,
-            weekend_dip=self.demand_config.weekend_dip,
-            noise_sigma=self.demand_config.noise_sigma,
-            max_occupancy=self.demand_config.max_occupancy,
         )
         demand_model = DeadlineDemandModel(demand_config, seed=self.seed)
         cooling = CoolingModel().with_capacity_fraction(scenario.cooling_capacity_fraction)

@@ -1,0 +1,64 @@
+"""The unified experiment API.
+
+This package is the toolkit's front door: declare *which world* to simulate
+with a :class:`ScenarioSpec` (or pick a registered one by name), open an
+:class:`ExperimentSession` over it, and run any registered experiment — every
+paper analysis returns the same structured :class:`ExperimentResult`.
+
+>>> from repro.experiments import ExperimentSession
+>>> session = ExperimentSession("single-year", seed=7)
+>>> figures = session.run("figures")
+>>> figures.scalar("fig2_correlation") < 0
+True
+
+The experiment registry also drives the ``greenhpc`` CLI: each registered
+experiment automatically becomes a subcommand with shared
+``--seed/--months/--site/--json`` handling.
+"""
+
+from .registry import (
+    ExperimentDefinition,
+    ExperimentParam,
+    experiment,
+    experiment_names,
+    get_experiment,
+    list_experiments,
+    register_experiment,
+)
+from .result import ExperimentResult
+from .session import ExperimentSession
+from .spec import (
+    GridSpec,
+    ScenarioSpec,
+    WorkloadSpec,
+    get_scenario,
+    get_site,
+    list_scenarios,
+    register_scenario,
+    register_site,
+    scenario_names,
+    site_names,
+)
+from . import builtin as _builtin  # noqa: F401 - populates the registry on import
+
+__all__ = [
+    "ScenarioSpec",
+    "WorkloadSpec",
+    "GridSpec",
+    "register_scenario",
+    "get_scenario",
+    "list_scenarios",
+    "scenario_names",
+    "register_site",
+    "get_site",
+    "site_names",
+    "ExperimentResult",
+    "ExperimentParam",
+    "ExperimentDefinition",
+    "experiment",
+    "register_experiment",
+    "get_experiment",
+    "experiment_names",
+    "list_experiments",
+    "ExperimentSession",
+]

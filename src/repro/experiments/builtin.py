@@ -1,0 +1,251 @@
+"""The built-in experiment catalogue (every headline analysis of the paper).
+
+Each runner takes the session, pulls the cached substrates it needs, and
+returns an :class:`~repro.experiments.result.ExperimentResult`.  Importing
+:mod:`repro.experiments` imports this module, which populates the registry —
+and thereby the CLI, whose subcommands are generated from it.
+"""
+
+from __future__ import annotations
+
+from ..analysis.figures import (
+    fig2_power_vs_green_share,
+    fig3_price_vs_green_share,
+    fig4_power_vs_temperature,
+    fig5_energy_vs_deadlines,
+)
+from ..analysis.tables import table1_conferences
+from ..core.policies import LoadShiftingPolicy, evaluate_deadline_restructuring, evaluate_load_shifting
+from ..core.stress import StressTestHarness
+from ..scheduler.powercap import powercap_energy_tradeoff
+from .registry import ExperimentParam, experiment
+from .result import ExperimentResult
+from .session import ExperimentSession
+
+__all__ = [
+    "run_figures",
+    "run_table1",
+    "run_powercap",
+    "run_shifting",
+    "run_deadlines",
+    "run_stress",
+    "run_optimize",
+]
+
+#: Minimum horizon for the Fig. 5 (two partial years) analysis.
+FIG5_MIN_MONTHS = 16
+
+
+@experiment("figures", help="the Fig. 2-5 monthly series and their statistics")
+def run_figures(session: ExperimentSession) -> ExperimentResult:
+    """Figs. 2-5: monthly power/price/temperature series vs. the green share."""
+    scenario = session.scenario()
+    fig2 = fig2_power_vs_green_share(scenario)
+    fig3 = fig3_price_vs_green_share(scenario)
+    fig4 = fig4_power_vs_temperature(scenario)
+    rows = [
+        {
+            "month": label,
+            "power_kw": float(fig2.monthly_power_kw[i]),
+            "solar_wind_pct": float(fig2.monthly_renewable_share_pct[i]),
+            "price_per_mwh": float(fig3.monthly_price_per_mwh[i]),
+            "temperature_f": float(fig4.monthly_temperature_f[i]),
+        }
+        for i, label in enumerate(fig2.month_labels)
+    ]
+    scalars = {
+        "fig2_correlation": fig2.correlation,
+        "fig3_correlation": fig3.correlation,
+        "fig4_spearman": fig4.spearman,
+        "fig4_pearson": fig4.pearson,
+    }
+    notes = [
+        f"Fig.2 corr(power, green share)      = {fig2.correlation:+.3f}",
+        f"Fig.3 corr(price, green share)      = {fig3.correlation:+.3f}",
+        f"Fig.4 spearman(power, temperature)  = {fig4.spearman:+.3f}",
+    ]
+    if session.spec.n_months >= FIG5_MIN_MONTHS:
+        fig5 = fig5_energy_vs_deadlines(scenario)
+        scalars["fig5_same_month_correlation"] = fig5.same_month_correlation
+        scalars["fig5_early_2021_vs_2020_ratio"] = fig5.early_2021_vs_2020_ratio
+        scalars["fig5_lead_lag_months"] = fig5.lead_lag_months
+        notes.append(f"Fig.5 corr(energy, deadlines)       = {fig5.same_month_correlation:+.3f}")
+        notes.append(f"Fig.5 early-2021 / early-2020 ratio = {fig5.early_2021_vs_2020_ratio:.3f}")
+    return ExperimentResult(
+        name="figures", spec=session.spec, rows=tuple(rows), scalars=scalars, notes=tuple(notes)
+    )
+
+
+@experiment("table1", help="the reproduced Table I conference catalogue")
+def run_table1(session: ExperimentSession) -> ExperimentResult:
+    """Table I: the conference catalogue and its deadline seasonality."""
+    table = table1_conferences()
+    rows = [
+        {"area": area, "conferences": ", ".join(names)} for area, names in table.rows.items()
+    ]
+    scalars = {
+        "n_conferences": table.n_conferences,
+        "spring_summer_fraction": table.spring_summer_fraction,
+        "winter_fraction": table.winter_fraction,
+        "busiest_deadline_month": table.busiest_deadline_month(),
+    }
+    notes = [
+        f"conferences: {table.n_conferences}",
+        f"spring/summer deadline share: {table.spring_summer_fraction:.0%}",
+    ]
+    return ExperimentResult(
+        name="table1", spec=session.spec, rows=tuple(rows), scalars=scalars, notes=tuple(notes)
+    )
+
+
+@experiment("powercap", help="the power-cap energy/time trade-off sweep")
+def run_powercap(session: ExperimentSession) -> ExperimentResult:
+    """Section II.C: the energy/runtime frontier of GPU power caps."""
+    points = powercap_energy_tradeoff(session.spec.workload.gpu_model)
+    rows = [
+        {
+            "cap_fraction": p.cap_fraction,
+            "cap_w": p.cap_w,
+            "runtime_penalty_pct": p.runtime_penalty_pct,
+            "energy_savings_pct": p.energy_savings_pct,
+        }
+        for p in points
+    ]
+    scalars = {
+        "gpu_model": session.spec.workload.gpu_model,
+        "n_caps": len(points),
+        "max_energy_savings_pct": max(p.energy_savings_pct for p in points),
+    }
+    return ExperimentResult(name="powercap", spec=session.spec, rows=tuple(rows), scalars=scalars)
+
+
+@experiment(
+    "shifting",
+    help="carbon/price-aware load-shifting savings",
+    params=(
+        ExperimentParam("deferrable", float, 0.3, help="deferrable load fraction"),
+        ExperimentParam("window", int, 24, help="shifting window in hours"),
+        ExperimentParam(
+            "signal",
+            str,
+            "carbon",
+            help="signal to shift toward",
+            choices=("carbon", "price", "renewable"),
+        ),
+    ),
+)
+def run_shifting(
+    session: ExperimentSession, deferrable: float, window: int, signal: str
+) -> ExperimentResult:
+    """Section II.A: what re-timing deferrable load would capture."""
+    policy = LoadShiftingPolicy(deferrable_fraction=deferrable, window_h=window, signal=signal)
+    outcome = evaluate_load_shifting(
+        facility_load_kwh=session.hourly_facility_load_kwh(),
+        grid=session.grid,
+        policy=policy,
+    )
+    summary = dict(outcome.summary())
+    scalars = {
+        "emissions_savings_pct": summary["emissions_savings_pct"],
+        "cost_savings_pct": summary["cost_savings_pct"],
+        "peak_power_change_pct": summary["peak_power_change_pct"],
+    }
+    return ExperimentResult(
+        name="shifting",
+        spec=session.spec,
+        rows=(summary,),
+        scalars=scalars,
+        params={"deferrable": deferrable, "window": window, "signal": signal},
+    )
+
+
+@experiment("deadlines", help="the deadline-restructuring comparison")
+def run_deadlines(session: ExperimentSession) -> ExperimentResult:
+    """Section III: the conference-calendar restructuring options."""
+    spec = session.spec
+    scenario = session.scenario()
+    outcomes = evaluate_deadline_restructuring(
+        seed=spec.seed,
+        start_year=spec.start_year,
+        n_months=spec.n_months,
+        demand_model=scenario.demand_model,
+        weather_hourly_c=scenario.weather_hourly_c,
+        grid=scenario.grid,
+        trace_config=spec.trace_config(),
+    )
+    rows = [dict(outcome.summary()) for outcome in outcomes.values()]
+    greenest = min(outcomes.values(), key=lambda o: o.total_emissions_t)
+    scalars = {
+        "n_options": len(outcomes),
+        "greenest_option": greenest.option,
+        "greenest_emissions_t": greenest.total_emissions_t,
+    }
+    return ExperimentResult(name="deadlines", spec=session.spec, rows=tuple(rows), scalars=scalars)
+
+
+@experiment("stress", help="the Section II.B stress-test battery")
+def run_stress(session: ExperimentSession) -> ExperimentResult:
+    """Section II.B: degradation under the standard stress battery."""
+    spec = session.spec
+    scenario = session.scenario()
+    harness = StressTestHarness(
+        start_year=spec.start_year,
+        n_months=spec.n_months,
+        seed=spec.seed,
+        trace_config=spec.trace_config(),
+        baseline_weather_c=scenario.weather_hourly_c,
+        grid=scenario.grid,
+    )
+    results = harness.run_battery()
+    rows = StressTestHarness.degradation_table(results)
+    worst = max(rows, key=lambda row: row["energy_increase_pct"])
+    scalars = {
+        "n_scenarios": len(results),
+        "worst_scenario": worst["scenario"],
+        "worst_energy_increase_pct": worst["energy_increase_pct"],
+        "total_hours_cooling_overloaded": int(
+            sum(r.hours_cooling_overloaded for r in results.values())
+        ),
+    }
+    return ExperimentResult(name="stress", spec=session.spec, rows=tuple(rows), scalars=scalars)
+
+
+@experiment(
+    "optimize",
+    help="the Eq. 1 operating-point search on a job-level trace",
+    params=(
+        ExperimentParam("jobs", int, 300, help="number of jobs in the generated trace"),
+        ExperimentParam("horizon_days", float, 7.0, help="trace horizon in days"),
+        ExperimentParam(
+            "floor", float, 0.9, help="activity floor as a fraction of baseline GPU-hours"
+        ),
+    ),
+)
+def run_optimize(
+    session: ExperimentSession, jobs: int, horizon_days: float, floor: float
+) -> ExperimentResult:
+    """Eq. 1: exhaustive search over supply/policy/power-cap operating points."""
+    outcome = session.optimize_operations(
+        n_jobs=jobs, horizon_h=horizon_days * 24.0, activity_floor_fraction=floor
+    )
+    rows = outcome.frontier_records()
+    savings_pct = 100.0 * outcome.savings_vs_baseline()
+    best_label = outcome.best.point.label() if outcome.best is not None else None
+    scalars = {
+        "n_evaluated": len(outcome.evaluated),
+        "n_feasible": len(outcome.feasible_points),
+        "best_point": best_label,
+        "savings_vs_baseline_pct": savings_pct,
+    }
+    notes = []
+    if best_label is not None:
+        notes.append(f"best operating point: {best_label}")
+        notes.append(f"objective savings vs. baseline: {savings_pct:.1f}%")
+    return ExperimentResult(
+        name="optimize",
+        spec=session.spec,
+        rows=tuple(rows),
+        scalars=scalars,
+        params={"jobs": jobs, "horizon_days": horizon_days, "floor": floor},
+        notes=tuple(notes),
+    )

@@ -1,0 +1,157 @@
+"""The experiment registry.
+
+Every paper analysis is registered here as an :class:`ExperimentDefinition`:
+a runner callable ``(session, **params) -> ExperimentResult`` plus declared,
+typed parameters.  The registry is the single source the CLI generates its
+subcommands from, so registering a new experiment automatically gives it a
+``greenhpc <name>`` surface with ``--seed/--months/--site/--json`` handling
+and per-parameter flags — no CLI edits required.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Optional, TYPE_CHECKING
+
+from ..errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .result import ExperimentResult
+    from .session import ExperimentSession
+
+__all__ = [
+    "ExperimentParam",
+    "ExperimentDefinition",
+    "experiment",
+    "register_experiment",
+    "get_experiment",
+    "experiment_names",
+    "list_experiments",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentParam:
+    """One declared, typed parameter of an experiment.
+
+    Attributes
+    ----------
+    name:
+        Python-identifier parameter name (also the argparse dest).
+    type:
+        Callable coercing a CLI string to the parameter's type.
+    default:
+        Value used when the parameter is not supplied.
+    help:
+        One-line description for ``--help``.
+    choices:
+        Optional closed set of allowed values.
+    """
+
+    name: str
+    type: Callable[[str], Any]
+    default: Any
+    help: str = ""
+    choices: Optional[tuple[Any, ...]] = None
+
+    def __post_init__(self) -> None:
+        if not self.name.isidentifier():
+            raise ConfigurationError(f"parameter name must be an identifier, got {self.name!r}")
+
+    @property
+    def cli_flag(self) -> str:
+        """The generated command-line flag (underscores become dashes)."""
+        return "--" + self.name.replace("_", "-")
+
+    def validate(self, value: Any) -> Any:
+        """Check ``value`` against ``choices`` (returns it for chaining)."""
+        if self.choices is not None and value not in self.choices:
+            raise ConfigurationError(
+                f"parameter {self.name!r} must be one of {list(self.choices)}, got {value!r}"
+            )
+        return value
+
+
+@dataclass(frozen=True)
+class ExperimentDefinition:
+    """A registered experiment: runner + metadata + declared parameters."""
+
+    name: str
+    runner: Callable[..., "ExperimentResult"]
+    help: str = ""
+    params: tuple[ExperimentParam, ...] = ()
+    min_months: int = 1
+
+    def resolve_params(self, **overrides: Any) -> dict[str, Any]:
+        """Merge ``overrides`` over declared defaults, rejecting unknown names."""
+        declared = {p.name: p for p in self.params}
+        unknown = set(overrides) - set(declared)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown parameter(s) {sorted(unknown)} for experiment {self.name!r}; "
+                f"declared: {sorted(declared)}"
+            )
+        resolved = {name: param.default for name, param in declared.items()}
+        for name, value in overrides.items():
+            resolved[name] = declared[name].validate(value)
+        return resolved
+
+    def run(self, session: "ExperimentSession", **overrides: Any) -> "ExperimentResult":
+        """Run the experiment on ``session`` with resolved parameters."""
+        if session.spec.n_months < self.min_months:
+            raise ConfigurationError(
+                f"experiment {self.name!r} needs a horizon of at least "
+                f"{self.min_months} months, got {session.spec.n_months}"
+            )
+        return self.runner(session, **self.resolve_params(**overrides))
+
+
+_EXPERIMENTS: dict[str, ExperimentDefinition] = {}
+
+
+def register_experiment(definition: ExperimentDefinition, *, overwrite: bool = False) -> ExperimentDefinition:
+    """Register ``definition`` under its name; returns it for chaining."""
+    if definition.name in _EXPERIMENTS and not overwrite:
+        raise ConfigurationError(f"experiment {definition.name!r} is already registered")
+    _EXPERIMENTS[definition.name] = definition
+    return definition
+
+
+def experiment(
+    name: str,
+    *,
+    help: str = "",
+    params: tuple[ExperimentParam, ...] = (),
+    min_months: int = 1,
+) -> Callable[[Callable[..., "ExperimentResult"]], Callable[..., "ExperimentResult"]]:
+    """Decorator registering a runner as the experiment ``name``."""
+
+    def decorate(runner: Callable[..., "ExperimentResult"]) -> Callable[..., "ExperimentResult"]:
+        register_experiment(
+            ExperimentDefinition(
+                name=name, runner=runner, help=help, params=tuple(params), min_months=min_months
+            )
+        )
+        return runner
+
+    return decorate
+
+
+def get_experiment(name: str) -> ExperimentDefinition:
+    """Look up a registered experiment by name."""
+    try:
+        return _EXPERIMENTS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {name!r}; registered experiments: {sorted(_EXPERIMENTS)}"
+        ) from None
+
+
+def experiment_names() -> tuple[str, ...]:
+    """Names of all registered experiments, in registration order."""
+    return tuple(_EXPERIMENTS)
+
+
+def list_experiments() -> Iterator[ExperimentDefinition]:
+    """Iterate over the registered experiments, in registration order."""
+    return iter(tuple(_EXPERIMENTS.values()))

@@ -1,0 +1,82 @@
+"""The uniform result object every registered experiment returns.
+
+An :class:`ExperimentResult` is deliberately plain: tabular ``rows`` (one
+flat dictionary per record), headline ``scalars``, the ``spec`` the run was
+built from, the resolved ``params`` the experiment ran with, and optional
+human-oriented ``notes`` lines.  ``to_dict()``/``to_json()`` produce strict
+JSON (numpy values converted, non-finite floats mapped to ``None``), which is
+what the CLI's ``--json`` flag emits.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..config import config_to_jsonable
+from ..errors import DataError
+from .spec import ScenarioSpec
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Outcome of one experiment run on one scenario.
+
+    Attributes
+    ----------
+    name:
+        Registered experiment name (``"figures"``, ``"stress"``, ...).
+    spec:
+        The scenario the experiment ran against.
+    rows:
+        Tabular records (one flat mapping per row).
+    scalars:
+        Headline statistics keyed by machine-readable names.
+    params:
+        The experiment parameters the run resolved to (defaults + overrides).
+    notes:
+        Optional human-oriented summary lines for text rendering.
+    """
+
+    name: str
+    spec: ScenarioSpec
+    rows: tuple[Mapping[str, Any], ...] = ()
+    scalars: Mapping[str, Any] = field(default_factory=dict)
+    params: Mapping[str, Any] = field(default_factory=dict)
+    notes: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rows", tuple(dict(row) for row in self.rows))
+        object.__setattr__(self, "notes", tuple(str(line) for line in self.notes))
+
+    def scalar(self, key: str) -> Any:
+        """One headline statistic by name (raises :class:`DataError` if absent)."""
+        try:
+            return self.scalars[key]
+        except KeyError:
+            raise DataError(
+                f"experiment {self.name!r} has no scalar {key!r}; "
+                f"available: {sorted(self.scalars)}"
+            ) from None
+
+    def column(self, key: str) -> list[Any]:
+        """One column of ``rows`` as a list (missing values become ``None``)."""
+        return [row.get(key) for row in self.rows]
+
+    def to_dict(self) -> dict[str, Any]:
+        """Strict-JSON-ready dictionary form of the whole result."""
+        return {
+            "experiment": self.name,
+            "spec": self.spec.to_dict(),
+            "params": config_to_jsonable(self.params),
+            "rows": config_to_jsonable(self.rows),
+            "scalars": config_to_jsonable(self.scalars),
+            "notes": list(self.notes),
+        }
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        """Serialize :meth:`to_dict` as strict JSON text."""
+        return json.dumps(self.to_dict(), indent=indent, allow_nan=False)

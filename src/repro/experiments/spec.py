@@ -1,0 +1,261 @@
+"""Declarative scenario specification and the named scenario/site registries.
+
+A :class:`ScenarioSpec` is the single description of *which world* an
+experiment runs in: the master seed, the simulated horizon, the facility
+hardware, the site climate, the grid parameters and the workload shape.  It
+is a frozen (hashable) dataclass, so an :class:`~repro.experiments.session.
+ExperimentSession` can use the spec itself as the cache key for the expensive
+substrates built from it.
+
+Two small registries make specs addressable by name:
+
+* the **site registry** (:func:`get_site` / :func:`site_names`) maps short
+  names to :class:`~repro.config.SiteConfig` descriptions (the CLI's
+  ``--site`` flag);
+* the **scenario registry** (:func:`register_scenario` / :func:`get_scenario`
+  / :func:`list_scenarios`) maps names to full specs (the CLI's
+  ``--scenario`` flag), pre-populated with the paper's worlds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional
+
+from ..config import (
+    FacilityConfig,
+    SiteConfig,
+    config_replace,
+    config_to_jsonable,
+)
+from ..errors import ConfigurationError
+from ..grid.fuel_mix import FuelMixConfig
+from ..grid.pricing import LmpPriceConfig
+from ..timeutils import SimulationCalendar
+from ..workloads.supercloud import SuperCloudTraceConfig
+
+__all__ = [
+    "WorkloadSpec",
+    "GridSpec",
+    "ScenarioSpec",
+    "register_scenario",
+    "get_scenario",
+    "list_scenarios",
+    "scenario_names",
+    "register_site",
+    "get_site",
+    "site_names",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Workload-shape knobs of a scenario (the SuperCloud-like trace).
+
+    Attributes
+    ----------
+    gpu_model:
+        GPU model installed in the cluster (see :mod:`repro.telemetry.gpu_power`).
+    mean_busy_utilization:
+        Average compute utilization of a busy GPU.
+    packing_factor:
+        How well busy GPUs pack onto nodes (1 = perfectly packed).
+    """
+
+    gpu_model: str = "V100"
+    mean_busy_utilization: float = 0.72
+    packing_factor: float = 0.7
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """Grid-parameter overrides of a scenario (``None`` = model defaults)."""
+
+    fuel: Optional[FuelMixConfig] = None
+    price: Optional[LmpPriceConfig] = None
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Everything needed to (re)build one simulated world, declaratively.
+
+    Attributes
+    ----------
+    name:
+        Registry name / report label.
+    seed:
+        Master random seed from which every substrate stream is derived.
+    start_year / n_months:
+        Simulated horizon (the paper's window is 2020-2021, 24 months).
+    site:
+        Site climate and location.
+    facility:
+        Facility hardware description.
+    workload:
+        Workload-shape knobs.
+    grid:
+        Grid-parameter overrides.
+    description:
+        One-line human description shown by registry listings.
+    """
+
+    name: str = "default"
+    seed: int = 0
+    start_year: int = 2020
+    n_months: int = 24
+    site: SiteConfig = SiteConfig()
+    facility: FacilityConfig = FacilityConfig()
+    workload: WorkloadSpec = WorkloadSpec()
+    grid: GridSpec = GridSpec()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("scenario name must be non-empty")
+        if self.n_months <= 0:
+            raise ConfigurationError(f"n_months must be positive, got {self.n_months!r}")
+
+    # ------------------------------------------------------------------
+    # Derived objects
+    # ------------------------------------------------------------------
+    def calendar(self) -> SimulationCalendar:
+        """The simulation calendar this spec describes."""
+        return SimulationCalendar(start_year=self.start_year, n_months=self.n_months)
+
+    def trace_config(self) -> SuperCloudTraceConfig:
+        """The facility-load trace configuration implied by the spec."""
+        return SuperCloudTraceConfig(
+            facility=self.facility,
+            gpu_model=self.workload.gpu_model,
+            mean_busy_utilization=self.workload.mean_busy_utilization,
+            packing_factor=self.workload.packing_factor,
+        )
+
+    def replace(self, **changes: Any) -> "ScenarioSpec":
+        """A copy of the spec with ``changes`` applied (unknown fields raise)."""
+        return config_replace(self, **changes)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Deep, JSON-ready dictionary form of the spec."""
+        return config_to_jsonable(self)
+
+
+# ---------------------------------------------------------------------------
+# Site registry
+# ---------------------------------------------------------------------------
+
+_SITES: dict[str, SiteConfig] = {}
+
+
+def register_site(site: SiteConfig, *, overwrite: bool = False) -> SiteConfig:
+    """Register a site under its own ``name`` so the CLI can select it."""
+    if site.name in _SITES and not overwrite:
+        raise ConfigurationError(f"site {site.name!r} is already registered")
+    _SITES[site.name] = site
+    return site
+
+
+def get_site(name: str) -> SiteConfig:
+    """Look up a registered site by name."""
+    try:
+        return _SITES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown site {name!r}; registered sites: {sorted(_SITES)}"
+        ) from None
+
+
+def site_names() -> tuple[str, ...]:
+    """Names of all registered sites, in registration order."""
+    return tuple(_SITES)
+
+
+register_site(SiteConfig())  # holyoke-ma, the paper's site
+register_site(
+    SiteConfig(
+        name="phoenix-az",
+        mean_annual_temperature_c=23.9,
+        seasonal_temperature_amplitude_c=10.5,
+        diurnal_temperature_amplitude_c=7.0,
+        latitude_deg=33.4,
+        grid_region="AZPS",
+    )
+)
+register_site(
+    SiteConfig(
+        name="reykjavik-is",
+        mean_annual_temperature_c=4.5,
+        seasonal_temperature_amplitude_c=5.5,
+        diurnal_temperature_amplitude_c=2.0,
+        latitude_deg=64.1,
+        grid_region="IS",
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# Scenario registry
+# ---------------------------------------------------------------------------
+
+_SCENARIOS: dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(spec: ScenarioSpec, *, overwrite: bool = False) -> ScenarioSpec:
+    """Register ``spec`` under ``spec.name``; returns the spec for chaining."""
+    if spec.name in _SCENARIOS and not overwrite:
+        raise ConfigurationError(f"scenario {spec.name!r} is already registered")
+    _SCENARIOS[spec.name] = spec
+    return spec
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a registered scenario by name."""
+    try:
+        return _SCENARIOS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; registered scenarios: {sorted(_SCENARIOS)}"
+        ) from None
+
+
+def scenario_names() -> tuple[str, ...]:
+    """Names of all registered scenarios, in registration order."""
+    return tuple(_SCENARIOS)
+
+
+def list_scenarios() -> Iterator[ScenarioSpec]:
+    """Iterate over the registered scenario specs, in registration order."""
+    return iter(tuple(_SCENARIOS.values()))
+
+
+register_scenario(
+    ScenarioSpec(description="the paper's 2020-2021 SuperCloud-like world (seed 0)")
+)
+register_scenario(
+    ScenarioSpec(
+        name="paper",
+        seed=20220527,
+        description="same world, seeded with the paper's submission date",
+    )
+)
+register_scenario(
+    ScenarioSpec(
+        name="single-year",
+        n_months=12,
+        description="one simulated year (too short for the Fig. 5 analysis)",
+    )
+)
+register_scenario(
+    ScenarioSpec(
+        name="hot-climate",
+        site=get_site("phoenix-az"),
+        description="the same facility relocated to a hot desert climate",
+    )
+)
+register_scenario(
+    ScenarioSpec(
+        name="a100-refresh",
+        workload=WorkloadSpec(gpu_model="A100"),
+        description="the facility after an A100 hardware refresh",
+    )
+)

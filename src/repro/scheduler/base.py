@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 from ..cluster.resources import Cluster
 from ..errors import SchedulingError
@@ -122,7 +122,7 @@ class Scheduler(ABC):
         free_gpus: int,
         *,
         stop_at_first_blocked: bool,
-        cap_for: "callable" = lambda job: job.power_cap_fraction,
+        cap_for: Callable[[Job], Optional[float]] = lambda job: job.power_cap_fraction,
     ) -> list[ScheduleDecision]:
         """Start jobs in the given order while they fit.
 

@@ -63,6 +63,10 @@ class SuperCloudTraceConfig:
     def __post_init__(self) -> None:
         require_fraction(self.mean_busy_utilization, "mean_busy_utilization")
         require_fraction(self.packing_factor, "packing_factor")
+        try:
+            get_gpu_spec(self.gpu_model)
+        except Exception as exc:
+            raise ConfigurationError(f"unknown gpu_model {self.gpu_model!r}") from exc
 
 
 @dataclass(frozen=True)

@@ -1,8 +1,15 @@
 """Tests for the command-line interface."""
 
+import json
+import math
+
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import _print_rows, build_parser, main
+from repro.experiments import experiment_names
+
+#: Fast parameter overrides for the expensive subcommands.
+FAST_ARGS = {"optimize": ["--jobs", "25", "--horizon-days", "2"]}
 
 
 class TestParser:
@@ -41,3 +48,73 @@ class TestCommands:
         assert "Fig.4 spearman" in out
         # Fig. 5 needs two years and is skipped on a 12-month horizon.
         assert "Fig.5" not in out
+
+
+class TestRegistryDrivenCLI:
+    def test_every_experiment_is_a_subcommand(self):
+        parser = build_parser()
+        for name in experiment_names():
+            args = parser.parse_args(["--months", "6", name, *FAST_ARGS.get(name, [])])
+            assert args.command == name
+
+    @pytest.mark.parametrize("command", experiment_names())
+    def test_seed_and_months_propagate_to_every_subcommand(self, command, capsys):
+        argv = ["--seed", "4", "--months", "6", "--json", command, *FAST_ARGS.get(command, [])]
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment"] == command
+        assert payload["spec"]["seed"] == 4
+        assert payload["spec"]["n_months"] == 6
+
+    def test_shared_flags_accepted_after_subcommand(self, capsys):
+        # The documented invocation order (and the CI smoke command).
+        assert main(["figures", "--months", "12", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spec"]["n_months"] == 12
+
+    def test_subcommand_level_flag_overrides_top_level(self, capsys):
+        assert main(["--months", "24", "table1", "--months", "6", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spec"]["n_months"] == 6
+
+    def test_scenario_flag_selects_registered_spec(self, capsys):
+        assert main(["--scenario", "single-year", "--json", "table1"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spec"]["n_months"] == 12
+
+    def test_site_flag_overrides_spec_site(self, capsys):
+        assert main(["--site", "phoenix-az", "--months", "3", "--json", "figures"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spec"]["site"]["name"] == "phoenix-az"
+
+    def test_experiment_params_reach_the_run(self, capsys):
+        argv = ["--months", "3", "--json", "shifting", "--deferrable", "0.4", "--window", "12"]
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["params"]["deferrable"] == pytest.approx(0.4)
+        assert payload["params"]["window"] == 12
+
+    def test_json_output_is_strict(self, capsys):
+        assert main(["--months", "3", "--json", "powercap"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out)
+        assert "NaN" not in out
+        assert payload["rows"][0]["energy_savings_pct"] is not None
+
+
+class TestPrintRows:
+    def test_handles_none_and_nan(self, capsys):
+        _print_rows([{"a": None, "b": float("nan")}, {"a": 1.25, "b": math.inf}])
+        out = capsys.readouterr().out
+        assert "-" in out
+        assert "nan" in out
+        assert "inf" in out
+
+    def test_handles_ragged_records(self, capsys):
+        _print_rows([{"a": 1}, {"b": 2}])
+        out = capsys.readouterr().out
+        assert "a" in out and "b" in out
+
+    def test_empty(self, capsys):
+        _print_rows([])
+        assert "(no rows)" in capsys.readouterr().out
