@@ -25,7 +25,8 @@ Subpackages
     Process-pool parameter sweeps.
 ``repro.experiments``
     The unified experiment API: declarative scenarios, the experiment
-    registry, and the substrate-caching session behind the ``greenhpc`` CLI.
+    registry, the substrate-caching session behind the ``greenhpc`` CLI,
+    and the campaign layer for declarative multi-scenario sweeps.
 
 Quick start
 -----------
@@ -44,9 +45,35 @@ True
 ['experiment', 'notes', 'params', 'rows', 'scalars', 'spec']
 
 The same experiments are available from the command line (one subcommand per
-registered experiment, with shared ``--seed/--months/--site/--json`` flags)::
+registered experiment, with shared ``--seed/--months/--site/--workers/--json``
+flags)::
 
     greenhpc figures --months 12 --json
+
+Campaigns
+---------
+Sweep-shaped questions — power-cap fractions, stress batteries, "compare N
+policies × M sites × K seeds" — go through the campaign layer: declare a
+:class:`~repro.experiments.CampaignSpec` (base scenario + a grid over spec
+fields + a grid over experiment parameters + the experiments to run) and
+:func:`~repro.experiments.run_campaign` expands it into reproducibly seeded
+points (identical whether executed serially or across processes), reuses one
+substrate-caching session per distinct world per worker, and collects a
+columnar :class:`~repro.experiments.CampaignResult` with ``rows``,
+``group_by``/``summarize`` and ``to_json``/``to_csv``:
+
+>>> from repro.experiments import CampaignSpec, run_campaign
+>>> campaign = CampaignSpec(
+...     experiments=("table1", "powercap"),
+...     scenario_grid={"seed": [0, 1], "n_months": [3, 4]},
+... )
+>>> len(run_campaign(campaign).rows)
+8
+
+From the command line::
+
+    greenhpc sweep --experiments table1,powercap \\
+        --grid seed=0,1 --grid n_months=3,4 --workers 2 --json
 
 The legacy :class:`GreenDatacenterModel` facade remains as a thin shim over
 the session API.
@@ -56,6 +83,8 @@ from .config import ExperimentConfig, FacilityConfig, SiteConfig
 from .core.framework import GreenDatacenterModel
 from .errors import GreenHPCError
 from .experiments import (
+    CampaignResult,
+    CampaignSpec,
     ExperimentResult,
     ExperimentSession,
     ScenarioSpec,
@@ -63,6 +92,7 @@ from .experiments import (
     list_experiments,
     list_scenarios,
     register_scenario,
+    run_campaign,
 )
 from .timeutils import SimulationCalendar
 
@@ -88,6 +118,9 @@ __all__ = [
     "ExperimentSession",
     "ExperimentResult",
     "ScenarioSpec",
+    "CampaignSpec",
+    "CampaignResult",
+    "run_campaign",
     "register_scenario",
     "get_scenario",
     "list_scenarios",

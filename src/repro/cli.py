@@ -12,34 +12,56 @@ reproducing the paper) can run each analysis without writing Python::
     greenhpc stress                     # the stress-test battery
     greenhpc optimize --jobs 120        # the Eq. 1 operating-point search
 
+``greenhpc sweep`` fans any registered experiments out over a declarative
+grid of scenario fields and experiment parameters (a campaign), optionally
+across worker processes::
+
+    greenhpc sweep --experiments table1,powercap \\
+        --grid seed=0,1 --grid n_months=3,4 --workers 2 --json
+
 Shared flags are handled once for every subcommand: ``--seed``, ``--months``
-and ``--site`` override the chosen ``--scenario``'s spec, and ``--json``
-switches the output from aligned text tables to a machine-readable
-:class:`~repro.experiments.ExperimentResult` dump.  Registering a new
-experiment automatically gives it a CLI surface — this module contains no
-per-command wiring.
+and ``--site`` override the chosen ``--scenario``'s spec, ``--workers`` (or
+the ``GREENHPC_WORKERS`` environment variable) sets the process count for
+sweep-capable subcommands, and ``--json`` switches the output from aligned
+text tables to a machine-readable :class:`~repro.experiments.
+ExperimentResult` dump.  Registering a new experiment automatically gives it
+a CLI surface (and makes it sweepable) — this module contains no per-command
+wiring.
 """
 
 from __future__ import annotations
 
 import argparse
 import math
+import os
 import sys
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
-from .errors import GreenHPCError
+from .errors import ConfigurationError, GreenHPCError
 from .experiments import (
+    CampaignSpec,
     ExperimentResult,
     ExperimentSession,
     get_experiment,
     get_scenario,
     get_site,
     list_experiments,
+    run_campaign,
     scenario_names,
     site_names,
 )
+from .parallel import ParallelConfig
 
 __all__ = ["main", "build_parser"]
+
+#: Scenario-spec fields sweepable from the command line, with their parsers
+#: (``site`` values are registered site names, resolved at expansion time).
+SWEEPABLE_SPEC_FIELDS: Mapping[str, type] = {
+    "seed": int,
+    "start_year": int,
+    "n_months": int,
+    "site": str,
+}
 
 
 def _format_cell(value: object) -> str:
@@ -123,6 +145,15 @@ def _add_shared_arguments(parser: argparse.ArgumentParser, *, in_subcommand: boo
         "--site", default=default(None), choices=site_names(), help="registered site override"
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=default(None),
+        help=(
+            "worker processes for sweep-capable subcommands (0 = all cores; "
+            "default: the GREENHPC_WORKERS environment variable, else serial)"
+        ),
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
         default=default(False),
@@ -150,7 +181,128 @@ def build_parser() -> argparse.ArgumentParser:
                 choices=param.choices,
                 help=param.help or None,
             )
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="run a campaign: registered experiments over a scenario/parameter grid",
+    )
+    _add_shared_arguments(sweep, in_subcommand=True)
+    sweep.add_argument(
+        "--experiments",
+        required=True,
+        help="comma-separated registered experiment names to run at every grid point",
+    )
+    sweep.add_argument(
+        "--grid",
+        action="append",
+        default=[],
+        metavar="KEY=V1,V2,...",
+        help=(
+            "one grid dimension; KEY is a scenario field "
+            f"({', '.join(SWEEPABLE_SPEC_FIELDS)}) or a parameter declared by a "
+            "selected experiment; repeat for more dimensions"
+        ),
+    )
+    sweep.add_argument(
+        "--csv",
+        action="store_true",
+        help="emit the campaign rows as CSV instead of a text table",
+    )
     return parser
+
+
+def _split_names(raw: str, what: str) -> tuple[str, ...]:
+    """Parse a non-empty comma-separated name list."""
+    names = tuple(name for name in (part.strip() for part in raw.split(",")) if name)
+    if not names:
+        raise ConfigurationError(f"{what} must be a non-empty comma-separated list, got {raw!r}")
+    return names
+
+
+def _parse_grid_arguments(
+    grid_args: Sequence[str], experiments: Sequence[str]
+) -> tuple[dict[str, list], dict[str, list]]:
+    """Split repeated ``--grid key=v1,v2`` flags into scenario and param grids.
+
+    Scenario-field values are coerced by :data:`SWEEPABLE_SPEC_FIELDS`;
+    experiment-parameter values are coerced by the parameter's declared type,
+    so ``--grid deferrable=0.2,0.4`` produces floats exactly as
+    ``--deferrable`` would.
+    """
+    param_types: dict[str, type] = {}
+    for name in experiments:
+        for param in get_experiment(name).params:
+            param_types.setdefault(param.name, param.type)
+    scenario_grid: dict[str, list] = {}
+    param_grid: dict[str, list] = {}
+    for item in grid_args:
+        key, sep, raw_values = item.partition("=")
+        key = key.strip()
+        if not sep or not key:
+            raise ConfigurationError(f"--grid expects KEY=V1,V2,..., got {item!r}")
+        if key in scenario_grid or key in param_grid:
+            raise ConfigurationError(
+                f"duplicate grid key {key!r}; give each --grid key once, "
+                f"with all its values comma-separated"
+            )
+        values = _split_names(raw_values, f"--grid {key}")
+        if key in SWEEPABLE_SPEC_FIELDS:
+            coerce, target = SWEEPABLE_SPEC_FIELDS[key], scenario_grid
+        elif key in param_types:
+            coerce, target = param_types[key], param_grid
+        else:
+            valid = sorted(set(SWEEPABLE_SPEC_FIELDS) | set(param_types))
+            raise ConfigurationError(
+                f"unknown grid key {key!r}; sweepable keys for this campaign: {valid}"
+            )
+        try:
+            target[key] = [coerce(value) for value in values]
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(f"could not parse --grid {key} values: {exc}") from None
+    return scenario_grid, param_grid
+
+
+def _resolve_workers(cli_value: int | None) -> int | None:
+    """The worker count from ``--workers``, else ``GREENHPC_WORKERS``, else ``None``."""
+    if cli_value is not None:
+        return cli_value
+    raw = os.environ.get("GREENHPC_WORKERS", "").strip()
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"GREENHPC_WORKERS must be an integer, got {raw!r}"
+        ) from None
+
+
+def _run_sweep(args: argparse.Namespace, parallel: ParallelConfig | None, base_spec) -> int:
+    """The ``greenhpc sweep`` subcommand: build, run and render a campaign."""
+    if args.json and args.csv:
+        raise ConfigurationError("--json and --csv are mutually exclusive")
+    experiments = _split_names(args.experiments, "--experiments")
+    scenario_grid, param_grid = _parse_grid_arguments(args.grid, experiments)
+    campaign = CampaignSpec(
+        experiments=experiments,
+        base=base_spec,
+        scenario_grid=scenario_grid,
+        param_grid=param_grid,
+        seed=base_spec.seed,
+    )
+    result = run_campaign(campaign, parallel)
+    if args.json:
+        print(result.to_json(indent=2))
+    elif args.csv:
+        print(result.to_csv(), end="")
+    else:
+        _print_rows(result.rows)
+        workers = parallel.resolved_workers() if parallel is not None else 1
+        print()
+        print(
+            f"{len(result)} campaign point(s) across {len(experiments)} experiment(s), "
+            f"{workers} worker(s)"
+        )
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -158,7 +310,6 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        definition = get_experiment(args.command)
         spec = get_scenario(args.scenario)
         overrides: dict[str, object] = {}
         if args.seed is not None:
@@ -169,7 +320,18 @@ def main(argv: Sequence[str] | None = None) -> int:
             overrides["site"] = get_site(args.site)
         if overrides:
             spec = spec.replace(**overrides)
-        session = ExperimentSession(spec)
+        workers = _resolve_workers(args.workers)
+        # An explicit worker request also lowers the serial-fallback floor:
+        # the operator asked for processes, so small sweeps use them too.
+        parallel = (
+            ParallelConfig(n_workers=workers, min_tasks_for_processes=2)
+            if workers is not None
+            else None
+        )
+        if args.command == "sweep":
+            return _run_sweep(args, parallel, spec)
+        definition = get_experiment(args.command)
+        session = ExperimentSession(spec, parallel=parallel)
         params = {param.name: getattr(args, param.name) for param in definition.params}
         result = definition.run(session, **params)
     except GreenHPCError as exc:

@@ -14,6 +14,7 @@ paper's warning about perverse effects).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Optional, Sequence
 
 import numpy as np
@@ -24,6 +25,7 @@ from ..cluster.simulator import ClusterSimulator, SimulationConfig, SimulationRe
 from ..config import FacilityConfig
 from ..errors import OptimizationError
 from ..grid.iso_ne import IsoNeLikeGrid
+from ..parallel.pool import ParallelConfig, map_parallel
 from ..scheduler.job import Job
 from .levers import OperatingPoint, default_operating_grid
 from .objective import ActivityConstraint, EnergyObjective, ObjectiveEvaluation
@@ -159,24 +161,31 @@ class DatacenterOptimizer:
     # Search
     # ------------------------------------------------------------------
     def optimize(
-        self, jobs: Sequence[Job], points: Sequence[OperatingPoint] | None = None
+        self,
+        jobs: Sequence[Job],
+        points: Sequence[OperatingPoint] | None = None,
+        *,
+        parallel: Optional[ParallelConfig] = None,
     ) -> OptimizationOutcome:
-        """Evaluate every candidate point and pick the best feasible one."""
+        """Evaluate every candidate point and pick the best feasible one.
+
+        The grid search runs through the campaign layer's process-pool
+        mapping: point evaluations are independent (each builds its own
+        cluster and simulator on a cloned trace), so a multi-worker
+        ``parallel`` configuration fans them out across processes while the
+        evaluated order — and therefore the selected optimum, ties included —
+        stays identical to a serial run.
+        """
         if not jobs:
             raise OptimizationError("optimize() requires a non-empty job trace")
         candidates = list(points) if points is not None else default_operating_grid()
         if not candidates:
             raise OptimizationError("optimize() requires at least one operating point")
-        evaluated: list[EvaluatedPoint] = []
-        baseline_eval: Optional[EvaluatedPoint] = None
-        for point in candidates:
-            evaluated_point = self.evaluate_point(point, jobs)
-            evaluated.append(evaluated_point)
-            if point == self.baseline_point:
-                baseline_eval = evaluated_point
-        if baseline_eval is None:
-            baseline_eval = self.evaluate_point(self.baseline_point, jobs)
-            evaluated.append(baseline_eval)
+        to_evaluate = list(candidates)
+        if self.baseline_point not in to_evaluate:
+            to_evaluate.append(self.baseline_point)
+        evaluated = map_parallel(partial(self.evaluate_point, jobs=jobs), to_evaluate, parallel)
+        baseline_eval = next(e for e in evaluated if e.point == self.baseline_point)
         feasible = [e for e in evaluated if e.evaluation.feasible]
         best = min(feasible, key=lambda e: e.evaluation.objective_value) if feasible else None
         return OptimizationOutcome(evaluated=tuple(evaluated), best=best, baseline=baseline_eval)

@@ -21,6 +21,7 @@ from ..config import config_replace
 from ..cluster.cooling import CoolingModel
 from ..errors import SimulationError
 from ..grid.iso_ne import IsoNeLikeGrid
+from ..parallel.pool import ParallelConfig, map_parallel
 from ..timeutils import SimulationCalendar
 from ..workloads.demand import DeadlineDemandConfig, DeadlineDemandModel
 from ..workloads.supercloud import SuperCloudTraceConfig, SuperCloudTraceGenerator
@@ -154,12 +155,22 @@ class StressTestHarness:
     # Batteries
     # ------------------------------------------------------------------
     def run_battery(
-        self, scenarios: Sequence[StressScenarioSpec] = STANDARD_STRESS_SCENARIOS
+        self,
+        scenarios: Sequence[StressScenarioSpec] = STANDARD_STRESS_SCENARIOS,
+        *,
+        parallel: Optional[ParallelConfig] = None,
     ) -> dict[str, StressTestResult]:
-        """Run a battery of scenarios, keyed by scenario name."""
+        """Run a battery of scenarios, keyed by scenario name.
+
+        The battery goes through the campaign layer's process-pool mapping:
+        with a multi-worker ``parallel`` configuration the scenarios run
+        concurrently (the harness state is picklable), and the result order —
+        hence the returned mapping — is identical to a serial run.
+        """
         if not scenarios:
             raise SimulationError("run_battery requires at least one scenario")
-        return {spec.name: self.run_scenario(spec) for spec in scenarios}
+        results = map_parallel(self.run_scenario, scenarios, parallel)
+        return {spec.name: result for spec, result in zip(scenarios, results)}
 
     @staticmethod
     def degradation_table(results: Mapping[str, StressTestResult]) -> list[dict[str, float | str]]:

@@ -14,6 +14,26 @@ True
 The experiment registry also drives the ``greenhpc`` CLI: each registered
 experiment automatically becomes a subcommand with shared
 ``--seed/--months/--site/--json`` handling.
+
+For sweep-shaped questions ("compare N policies × M sites × K seeds"),
+declare a :class:`CampaignSpec` — a base scenario, a grid over spec fields,
+a grid over experiment parameters, and one or more experiments — and hand it
+to :func:`run_campaign`, which fans the expanded points out across processes
+(one substrate-caching session per distinct world per worker) and collects a
+columnar :class:`CampaignResult`:
+
+>>> from repro.experiments import CampaignSpec, run_campaign
+>>> campaign = CampaignSpec(
+...     experiments=("table1", "powercap"),
+...     scenario_grid={"seed": [0, 1], "n_months": [3, 4]},
+... )
+>>> rows = run_campaign(campaign).rows   # 2 experiments x 4 worlds
+>>> len(rows)
+8
+
+The same sweeps are available from the command line as ``greenhpc sweep``
+(``--experiments``, repeatable ``--grid key=v1,v2,...``, ``--workers``,
+``--json``/``--csv``).
 """
 
 from .registry import (
@@ -40,8 +60,13 @@ from .spec import (
     site_names,
 )
 from . import builtin as _builtin  # noqa: F401 - populates the registry on import
+from .campaign import CampaignPoint, CampaignResult, CampaignSpec, run_campaign
 
 __all__ = [
+    "CampaignPoint",
+    "CampaignResult",
+    "CampaignSpec",
+    "run_campaign",
     "ScenarioSpec",
     "WorkloadSpec",
     "GridSpec",

@@ -15,8 +15,10 @@ from ..analysis.figures import (
     fig5_energy_vs_deadlines,
 )
 from ..analysis.tables import table1_conferences
+from ..core.levers import SCHEDULER_REGISTRY, default_operating_grid
 from ..core.policies import LoadShiftingPolicy, evaluate_deadline_restructuring, evaluate_load_shifting
 from ..core.stress import StressTestHarness
+from ..errors import ConfigurationError
 from ..scheduler.powercap import powercap_energy_tradeoff
 from .registry import ExperimentParam, experiment
 from .result import ExperimentResult
@@ -101,7 +103,9 @@ def run_table1(session: ExperimentSession) -> ExperimentResult:
 @experiment("powercap", help="the power-cap energy/time trade-off sweep")
 def run_powercap(session: ExperimentSession) -> ExperimentResult:
     """Section II.C: the energy/runtime frontier of GPU power caps."""
-    points = powercap_energy_tradeoff(session.spec.workload.gpu_model)
+    points = powercap_energy_tradeoff(
+        session.spec.workload.gpu_model, parallel=session.parallel
+    )
     rows = [
         {
             "cap_fraction": p.cap_fraction,
@@ -196,7 +200,7 @@ def run_stress(session: ExperimentSession) -> ExperimentResult:
         baseline_weather_c=scenario.weather_hourly_c,
         grid=scenario.grid,
     )
-    results = harness.run_battery()
+    results = harness.run_battery(parallel=session.parallel)
     rows = StressTestHarness.degradation_table(results)
     worst = max(rows, key=lambda row: row["energy_increase_pct"])
     scalars = {
@@ -219,14 +223,33 @@ def run_stress(session: ExperimentSession) -> ExperimentResult:
         ExperimentParam(
             "floor", float, 0.9, help="activity floor as a fraction of baseline GPU-hours"
         ),
+        ExperimentParam(
+            "policies",
+            str,
+            "backfill,energy-aware,carbon-aware",
+            help=(
+                "comma-separated scheduling policies to search over "
+                f"(registered: {', '.join(SCHEDULER_REGISTRY)})"
+            ),
+        ),
     ),
 )
 def run_optimize(
-    session: ExperimentSession, jobs: int, horizon_days: float, floor: float
+    session: ExperimentSession, jobs: int, horizon_days: float, floor: float, policies: str
 ) -> ExperimentResult:
     """Eq. 1: exhaustive search over supply/policy/power-cap operating points."""
+    policy_names = tuple(name.strip() for name in policies.split(",") if name.strip())
+    unknown = [name for name in policy_names if name not in SCHEDULER_REGISTRY]
+    if unknown or not policy_names:
+        raise ConfigurationError(
+            f"unknown scheduling policy(ies) {unknown}; "
+            f"registered: {sorted(SCHEDULER_REGISTRY)}"
+        )
     outcome = session.optimize_operations(
-        n_jobs=jobs, horizon_h=horizon_days * 24.0, activity_floor_fraction=floor
+        n_jobs=jobs,
+        horizon_h=horizon_days * 24.0,
+        activity_floor_fraction=floor,
+        points=default_operating_grid(policy_names=policy_names),
     )
     rows = outcome.frontier_records()
     savings_pct = 100.0 * outcome.savings_vs_baseline()
@@ -246,6 +269,6 @@ def run_optimize(
         spec=session.spec,
         rows=tuple(rows),
         scalars=scalars,
-        params={"jobs": jobs, "horizon_days": horizon_days, "floor": floor},
+        params={"jobs": jobs, "horizon_days": horizon_days, "floor": floor, "policies": policies},
         notes=tuple(notes),
     )

@@ -1,0 +1,456 @@
+"""Declarative multi-scenario campaigns over the experiment registry.
+
+A :class:`CampaignSpec` describes a whole *sweep* of experiment runs in one
+object: a base :class:`~repro.experiments.spec.ScenarioSpec`, a grid over
+spec fields (``seed``, ``site``, ``n_months``, ...), a grid over experiment
+parameters, and one or more registered experiment names.  :meth:`CampaignSpec.
+expand` turns that description into an ordered list of
+:class:`CampaignPoint`\\ s — each with a reproducible derived seed obtained
+through :func:`~repro.parallel.sweep.grid_points`, so the points (and
+therefore every row of the output) are identical whether the campaign runs
+serially or across processes.
+
+:func:`run_campaign` executes the points with
+:func:`~repro.parallel.pool.map_parallel`.  Each worker process keeps one
+:class:`~repro.experiments.session.ExperimentSession` per distinct scenario
+spec, so the expensive substrates (weather, load trace, grid series) are
+built once per world per worker and shared by every experiment/parameter
+point that runs in it — the same economy the session gives a single-process
+multi-analysis run.  Results are collected into a columnar
+:class:`CampaignResult` with flat ``rows``, ``group_by``/``summarize``
+aggregation and ``to_json``/``to_csv`` export.
+
+>>> from repro.experiments import CampaignSpec, run_campaign
+>>> campaign = CampaignSpec(
+...     experiments=("table1", "powercap"),
+...     scenario_grid={"seed": [0, 1], "n_months": [3, 4]},
+... )
+>>> result = run_campaign(campaign)            # doctest: +SKIP
+>>> result.summarize("experiment")             # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass, field, fields
+from typing import Any, Iterable, Mapping, Optional, Sequence, Union
+
+from ..config import config_to_jsonable
+from ..errors import ConfigurationError, DataError
+from ..parallel.pool import ParallelConfig, map_parallel
+from ..parallel.sweep import SweepPoint, grid_points
+from ..rng import derive_seed
+from .registry import get_experiment
+from .result import ExperimentResult
+from .session import ExperimentSession
+from .spec import ScenarioSpec, get_scenario, get_site
+
+__all__ = ["CampaignPoint", "CampaignSpec", "CampaignResult", "run_campaign"]
+
+#: Fields of :class:`ScenarioSpec` a campaign's ``scenario_grid`` may sweep.
+SPEC_GRID_FIELDS: frozenset[str] = frozenset(f.name for f in fields(ScenarioSpec))
+
+
+@dataclass(frozen=True)
+class CampaignPoint:
+    """One expanded run of a campaign: experiment × scenario × parameters.
+
+    Attributes
+    ----------
+    index:
+        Position of the point in the expanded campaign (stable across runs
+        and across serial/parallel execution).
+    experiment:
+        Registered experiment name to run at this point.
+    spec:
+        The fully resolved scenario spec for this point.
+    params:
+        Experiment parameter overrides (only parameters the experiment
+        declares).
+    seed:
+        Seed derived from the campaign's master seed via ``grid_points`` and
+        the experiment name — the point's stable identity, recorded in result
+        rows as ``point_seed`` so two runs of the same campaign are verifiably
+        the same sweep.  Experiment randomness is governed by ``spec.seed``
+        (sweep the ``seed`` spec field to vary it); the derived seed is the
+        handle for point-level stochastic extensions (e.g. replica noise).
+    varied:
+        The grid values this point was built from, with human-readable labels
+        (e.g. a swept site appears under its registered name) — these become
+        the identifying columns of the result row.
+    """
+
+    index: int
+    experiment: str
+    spec: ScenarioSpec
+    params: Mapping[str, Any]
+    seed: int
+    varied: Mapping[str, Any]
+
+
+def _label_value(value: Any) -> Any:
+    """A row/CSV-friendly label for one grid value (configs label by name)."""
+    if hasattr(value, "__dataclass_fields__"):
+        return getattr(value, "name", str(value))
+    return value
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A declarative multi-scenario, multi-experiment sweep.
+
+    Attributes
+    ----------
+    experiments:
+        Names of registered experiments to run at every grid point.
+    base:
+        The scenario spec every point starts from — a :class:`ScenarioSpec`
+        or the name of a registered scenario.
+    scenario_grid:
+        Spec field name -> values to sweep (``seed``, ``site``, ``n_months``,
+        ...).  ``site`` values may be registered site names.
+    param_grid:
+        Experiment parameter name -> values to sweep.  Each parameter must be
+        declared by at least one of the campaign's experiments; experiments
+        that do not declare a swept parameter run once per remaining
+        combination (duplicates are dropped).
+    seed:
+        Master seed from which every point's ``point_seed`` is derived.
+    """
+
+    experiments: tuple[str, ...]
+    base: Union[ScenarioSpec, str] = "default"
+    scenario_grid: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+    param_grid: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "experiments", tuple(self.experiments))
+        if not self.experiments:
+            raise ConfigurationError("campaign requires at least one experiment")
+        declared: set[str] = set()
+        for name in self.experiments:
+            declared.update(p.name for p in get_experiment(name).params)
+        base = self.base
+        if isinstance(base, str):
+            base = get_scenario(base)
+        object.__setattr__(self, "base", base)
+        scenario_grid = {key: tuple(values) for key, values in dict(self.scenario_grid).items()}
+        param_grid = {key: tuple(values) for key, values in dict(self.param_grid).items()}
+        unknown_fields = set(scenario_grid) - SPEC_GRID_FIELDS
+        if unknown_fields:
+            raise ConfigurationError(
+                f"unknown scenario field(s) {sorted(unknown_fields)} in scenario_grid; "
+                f"valid fields: {sorted(SPEC_GRID_FIELDS)}"
+            )
+        overlap = set(scenario_grid) & set(param_grid)
+        if overlap:
+            raise ConfigurationError(
+                f"key(s) {sorted(overlap)} appear in both scenario_grid and param_grid"
+            )
+        unknown_params = set(param_grid) - declared
+        if unknown_params:
+            raise ConfigurationError(
+                f"parameter(s) {sorted(unknown_params)} in param_grid are declared by none of "
+                f"the campaign's experiments {list(self.experiments)}; declared: {sorted(declared)}"
+            )
+        for key, values in {**scenario_grid, **param_grid}.items():
+            if not values:
+                raise ConfigurationError(f"grid key {key!r} has no values")
+        object.__setattr__(self, "scenario_grid", scenario_grid)
+        object.__setattr__(self, "param_grid", param_grid)
+
+    # ------------------------------------------------------------------
+    # Expansion
+    # ------------------------------------------------------------------
+    def _resolve_spec(self, changes: Mapping[str, Any]) -> ScenarioSpec:
+        """The base spec with one grid combination of field changes applied."""
+        resolved = dict(changes)
+        if isinstance(resolved.get("site"), str):
+            resolved["site"] = get_site(resolved["site"])
+        return self.base.replace(**resolved) if resolved else self.base
+
+    def _sweep_points(self) -> list[SweepPoint]:
+        """The combined scenario × parameter grid as seeded sweep points."""
+        grid: dict[str, Sequence[Any]] = {**self.scenario_grid, **self.param_grid}
+        if not grid:
+            # No grids: one point per experiment, seeded like a 1-point sweep.
+            return [SweepPoint(index=0, params={}, seed=derive_seed(self.seed, "sweep", 0))]
+        return grid_points(grid, seed=self.seed)
+
+    def expand(self) -> list[CampaignPoint]:
+        """All campaign points, in a deterministic, reproducible order.
+
+        The order (experiments outermost, then the grid in product order) and
+        each point's derived seed depend only on the campaign definition —
+        never on how the campaign is later executed — which is what makes
+        serial and multi-process runs produce identical rows.  Experiments
+        that do not declare a swept parameter would see duplicate points;
+        those are dropped, keeping the first (lowest-index) occurrence.
+        """
+        sweep_points = self._sweep_points()
+        points: list[CampaignPoint] = []
+        seen: set[tuple[str, ScenarioSpec, tuple[tuple[str, Any], ...]]] = set()
+        index = 0
+        for name in self.experiments:
+            declared = {p.name for p in get_experiment(name).params}
+            for sweep_point in sweep_points:
+                spec_changes = {
+                    key: value
+                    for key, value in sweep_point.params.items()
+                    if key in self.scenario_grid
+                }
+                params = {
+                    key: value
+                    for key, value in sweep_point.params.items()
+                    if key in self.param_grid and key in declared
+                }
+                spec = self._resolve_spec(spec_changes)
+                key = (name, spec, tuple(sorted(params.items())))
+                if key in seen:
+                    continue
+                seen.add(key)
+                varied = {k: _label_value(v) for k, v in spec_changes.items()}
+                varied.update(params)
+                points.append(
+                    CampaignPoint(
+                        index=index,
+                        experiment=name,
+                        spec=spec,
+                        params=params,
+                        seed=derive_seed(sweep_point.seed, name),
+                        varied=varied,
+                    )
+                )
+                index += 1
+        return points
+
+    def to_dict(self) -> dict[str, Any]:
+        """Strict-JSON-ready dictionary form of the campaign definition."""
+        return {
+            "experiments": list(self.experiments),
+            "base": self.base.to_dict(),
+            "scenario_grid": {
+                key: [config_to_jsonable(_label_value(v)) for v in values]
+                for key, values in self.scenario_grid.items()
+            },
+            "param_grid": {
+                key: [config_to_jsonable(v) for v in values]
+                for key, values in self.param_grid.items()
+            },
+            "seed": self.seed,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+#: One session per distinct scenario spec, local to this (worker) process.
+#: ``map_parallel`` hands each worker a chunk of points; points sharing a
+#: spec reuse the session's cached substrates instead of rebuilding them.
+_WORKER_SESSIONS: dict[ScenarioSpec, ExperimentSession] = {}
+
+#: Cache bound: campaigns expand with same-spec points adjacent, so a small
+#: FIFO window keeps the reuse win while a serial driver process (or a
+#: long-lived worker) cannot accumulate every world it ever built.
+_MAX_WORKER_SESSIONS = 8
+
+
+def _worker_session(spec: ScenarioSpec) -> ExperimentSession:
+    """The process-local session for ``spec`` (created on first use)."""
+    session = _WORKER_SESSIONS.get(spec)
+    if session is None:
+        while len(_WORKER_SESSIONS) >= _MAX_WORKER_SESSIONS:
+            _WORKER_SESSIONS.pop(next(iter(_WORKER_SESSIONS)))
+        session = ExperimentSession(spec)
+        _WORKER_SESSIONS[spec] = session
+    return session
+
+
+def clear_worker_sessions() -> None:
+    """Drop this process's cached sessions (tests and long-lived services)."""
+    _WORKER_SESSIONS.clear()
+
+
+def _evaluate_campaign_point(point: CampaignPoint) -> ExperimentResult:
+    """Run one campaign point on the worker-local session for its spec."""
+    return _worker_session(point.spec).run(point.experiment, **dict(point.params))
+
+
+def run_campaign(
+    campaign: CampaignSpec, parallel: Optional[ParallelConfig] = None
+) -> "CampaignResult":
+    """Expand ``campaign`` and evaluate every point, in processes when asked.
+
+    Results come back in point order regardless of execution order, so the
+    returned :class:`CampaignResult` is byte-identical between serial and
+    parallel runs of the same campaign.
+    """
+    points = campaign.expand()
+    results = map_parallel(_evaluate_campaign_point, points, parallel)
+    return CampaignResult(campaign=campaign, points=tuple(points), results=tuple(results))
+
+
+# ---------------------------------------------------------------------------
+# Results
+# ---------------------------------------------------------------------------
+
+
+def _is_numeric(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Columnar outcome of a campaign: one flat row per evaluated point.
+
+    ``results`` keeps every full :class:`ExperimentResult` (aligned with
+    ``points``) for drill-down; ``rows`` flattens each point's identifying
+    grid values and headline scalars into one record for tables, grouping
+    and export.
+    """
+
+    campaign: CampaignSpec
+    points: tuple[CampaignPoint, ...]
+    results: tuple[ExperimentResult, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.points) != len(self.results):
+            raise ConfigurationError("points and results must have the same length")
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    @property
+    def rows(self) -> list[dict[str, Any]]:
+        """One flat record per point: identity columns, then result scalars.
+
+        Built once and cached (the dataclass is frozen, so the rows are
+        deterministic); callers receive fresh copies of each record so they
+        can mutate them freely.
+        """
+        cached = getattr(self, "_rows", None)
+        if cached is None:
+            cached = []
+            for point, result in zip(self.points, self.results):
+                record: dict[str, Any] = {"index": point.index, "experiment": point.experiment}
+                record.update(point.varied)
+                record["point_seed"] = point.seed
+                for key, value in result.scalars.items():
+                    record.setdefault(key, value)
+                cached.append(record)
+            object.__setattr__(self, "_rows", cached)
+        return [dict(record) for record in cached]
+
+    def column(self, key: str) -> list[Any]:
+        """One column of :attr:`rows` (missing values become ``None``)."""
+        return [row.get(key) for row in self.rows]
+
+    def result_for(self, index: int) -> ExperimentResult:
+        """The full experiment result of the point with campaign ``index``."""
+        for point, result in zip(self.points, self.results):
+            if point.index == index:
+                return result
+        raise DataError(f"campaign has no point with index {index}")
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def group_by(self, *keys: str) -> dict[tuple[Any, ...], list[dict[str, Any]]]:
+        """Rows grouped by the values of ``keys``, in first-seen order."""
+        if not keys:
+            raise ConfigurationError("group_by requires at least one key")
+        groups: dict[tuple[Any, ...], list[dict[str, Any]]] = {}
+        for row in self.rows:
+            group = tuple(row.get(key) for key in keys)
+            groups.setdefault(group, []).append(row)
+        return groups
+
+    def summarize(
+        self, *keys: str, values: Optional[Iterable[str]] = None
+    ) -> list[dict[str, Any]]:
+        """Per-group ``mean``/``min``/``max`` of numeric columns.
+
+        Parameters
+        ----------
+        keys:
+            Columns to group by (e.g. ``"experiment"``, a swept spec field).
+        values:
+            Numeric columns to aggregate; by default every numeric *result*
+            column — grouping keys, point-identity columns and the swept
+            grid columns themselves are excluded (name them explicitly in
+            ``values`` to aggregate them anyway).
+        """
+        rows = self.rows
+        if values is None:
+            excluded = (
+                set(keys)
+                | {"index", "point_seed"}
+                | set(self.campaign.scenario_grid)
+                | set(self.campaign.param_grid)
+            )
+            ordered: list[str] = []
+            for row in rows:
+                for key, value in row.items():
+                    if key not in excluded and key not in ordered and _is_numeric(value):
+                        ordered.append(key)
+            values = ordered
+        else:
+            values = list(values)
+        if keys:
+            groups: dict[tuple[Any, ...], list[dict[str, Any]]] = {}
+            for row in rows:
+                groups.setdefault(tuple(row.get(key) for key in keys), []).append(row)
+        else:
+            groups = {(): rows}
+        summary = []
+        for group, group_rows in groups.items():
+            record: dict[str, Any] = dict(zip(keys, group))
+            record["n_points"] = len(group_rows)
+            for column in values:
+                samples = [row[column] for row in group_rows if _is_numeric(row.get(column))]
+                if not samples:
+                    continue
+                record[f"{column}_mean"] = sum(samples) / len(samples)
+                record[f"{column}_min"] = min(samples)
+                record[f"{column}_max"] = max(samples)
+            summary.append(record)
+        return summary
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_dict(self, *, include_results: bool = False) -> dict[str, Any]:
+        """Strict-JSON-ready dictionary form (rows by default; full results on request)."""
+        payload = {
+            "campaign": self.campaign.to_dict(),
+            "n_points": len(self.points),
+            "rows": config_to_jsonable(self.rows),
+        }
+        if include_results:
+            payload["results"] = [result.to_dict() for result in self.results]
+        return payload
+
+    def to_json(self, *, indent: int | None = None, include_results: bool = False) -> str:
+        """Serialize :meth:`to_dict` as strict JSON text."""
+        return json.dumps(
+            self.to_dict(include_results=include_results), indent=indent, allow_nan=False
+        )
+
+    def to_csv(self) -> str:
+        """The flat rows as CSV text (column set is the union over all rows)."""
+        rows = config_to_jsonable(self.rows)
+        columns: list[str] = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=columns, restval="")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+        return buffer.getvalue()

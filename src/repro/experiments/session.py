@@ -25,6 +25,7 @@ from ..core.levers import OperatingPoint
 from ..core.objective import ActivityConstraint, ActivityKind, EnergyObjective, ObjectiveKind
 from ..core.optimizer import DatacenterOptimizer, OptimizationOutcome
 from ..grid.iso_ne import IsoNeLikeGrid
+from ..parallel.pool import ParallelConfig
 from ..scheduler.job import Job
 from ..timeutils import SimulationCalendar
 from ..workloads.demand import DeadlineDemandModel
@@ -44,6 +45,11 @@ class ExperimentSession:
     spec:
         The scenario to run in — a :class:`ScenarioSpec`, the name of a
         registered scenario, or ``None`` for the default scenario.
+    parallel:
+        Execution configuration for the sweep-shaped experiments (the
+        power-cap sweep, the stress battery, the Eq. 1 grid search); serial
+        by default.  The CLI plumbs ``--workers`` / ``GREENHPC_WORKERS``
+        into this.
     **overrides:
         Spec fields to replace on top of ``spec`` (e.g. ``seed=7``,
         ``n_months=12``).
@@ -56,7 +62,13 @@ class ExperimentSession:
     True
     """
 
-    def __init__(self, spec: Union[ScenarioSpec, str, None] = None, **overrides: Any) -> None:
+    def __init__(
+        self,
+        spec: Union[ScenarioSpec, str, None] = None,
+        *,
+        parallel: Optional[ParallelConfig] = None,
+        **overrides: Any,
+    ) -> None:
         if spec is None:
             spec = get_scenario("default")
         elif isinstance(spec, str):
@@ -64,6 +76,8 @@ class ExperimentSession:
         if overrides:
             spec = spec.replace(**overrides)
         self._spec: ScenarioSpec = spec
+        #: Execution configuration used by sweep-shaped experiments.
+        self.parallel: ParallelConfig = parallel or ParallelConfig()
         self._scenarios: dict[ScenarioSpec, SuperCloudScenario] = {}
         self._job_traces: dict[tuple[ScenarioSpec, int, float], list[Job]] = {}
         #: Number of scenario substrate builds performed (cache misses).
@@ -140,12 +154,15 @@ class ExperimentSession:
         activity_floor_fraction: float = 0.9,
         points: Optional[Sequence[OperatingPoint]] = None,
         objective_kind: ObjectiveKind = ObjectiveKind.FACILITY_ENERGY_KWH,
+        parallel: Optional[ParallelConfig] = None,
     ) -> OptimizationOutcome:
         """Run the Eq. 1 search on a job trace over this session's substrates.
 
         ``activity_floor_fraction`` sets α as a fraction of the baseline
         (uncapped backfill) delivered GPU-hours, which is how an operator
-        would phrase "no more than a 10% hit to throughput".
+        would phrase "no more than a 10% hit to throughput".  The grid search
+        itself runs through the parallel mapping layer; ``parallel`` defaults
+        to the session's own configuration.
         """
         spec = self._spec
         trace = list(jobs) if jobs is not None else self.job_trace(n_jobs=n_jobs, horizon_h=horizon_h)
@@ -169,7 +186,9 @@ class ExperimentSession:
         baseline_point = OperatingPoint(policy_name="backfill")
         baseline_result = make_optimizer(0.0, None).evaluate_point(baseline_point, trace)
         alpha = activity_floor_fraction * baseline_result.result.delivered_gpu_hours
-        return make_optimizer(alpha, baseline_point).optimize(trace, points=points)
+        return make_optimizer(alpha, baseline_point).optimize(
+            trace, points=points, parallel=parallel or self.parallel
+        )
 
     # ------------------------------------------------------------------
     # Running experiments

@@ -63,11 +63,16 @@ class SweepResult:
         return records
 
     def best(self, key: Callable[[Any], float], *, maximize: bool = False) -> tuple[SweepPoint, Any]:
-        """The point whose value minimises (or maximises) ``key(value)``."""
+        """The point whose value minimises (or maximises) ``key(value)``.
+
+        Ties are broken by the lowest point index in both modes, so the
+        selection is deterministic and independent of the optimization sense.
+        """
         if not self.points:
             raise ConfigurationError("cannot select the best point of an empty sweep")
-        scored = [(key(value), i) for i, value in enumerate(self.values)]
-        best_index = max(scored)[1] if maximize else min(scored)[1]
+        scores = [key(value) for value in self.values]
+        best_score = max(scores) if maximize else min(scores)
+        best_index = scores.index(best_score)
         return self.points[best_index], self.values[best_index]
 
 

@@ -18,11 +18,14 @@ sweep of cap levels, which is the CLAIM-POWERCAP benchmark's payload.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
 from ..errors import SchedulingError
+from ..parallel.pool import ParallelConfig
+from ..parallel.sweep import ParameterSweep, SweepPoint, grid_points
 from ..telemetry.gpu_power import GpuPowerModel, get_gpu_spec
 from .job import Job
 
@@ -143,37 +146,59 @@ class PowerCapSweepPoint:
     runtime_penalty_pct: float
 
 
+def _evaluate_cap_point(
+    point: SweepPoint, *, gpu_model: str, utilization: float, baseline_energy: float
+) -> PowerCapSweepPoint:
+    """One cap level of the trade-off sweep (module-level, so it pickles)."""
+    fraction = point.params["cap_fraction"]
+    spec = get_gpu_spec(gpu_model)
+    model = GpuPowerModel(spec)
+    cap_w = float(model.clamp_power_limit(fraction * spec.tdp_w))
+    slowdown = float(model.slowdown_factor(cap_w, utilization))
+    energy = float(model.energy_for_work(1.0, utilization, cap_w))
+    relative_energy = energy / baseline_energy
+    return PowerCapSweepPoint(
+        cap_fraction=float(fraction),
+        cap_w=cap_w,
+        relative_runtime=slowdown,
+        relative_energy=relative_energy,
+        energy_savings_pct=100.0 * (1.0 - relative_energy),
+        runtime_penalty_pct=100.0 * (slowdown - 1.0),
+    )
+
+
 def powercap_energy_tradeoff(
     gpu_model: str = "V100",
     cap_fractions: Sequence[float] = (1.0, 0.9, 0.8, 0.7, 0.6, 0.5),
     *,
     utilization: float = 0.95,
+    parallel: Optional[ParallelConfig] = None,
 ) -> list[PowerCapSweepPoint]:
     """Energy/time trade-off of power caps for a fixed amount of training work.
 
     Reproduces the shape of the Frey et al. [15] result the paper leans on:
     moderate caps (70-80% of TDP) save 10-25% of energy at only a few percent
-    runtime penalty, while very tight caps hit diminishing returns.
+    runtime penalty, while very tight caps hit diminishing returns.  The cap
+    levels are evaluated through the sweep harness, so large custom sweeps can
+    run across processes via ``parallel``; results are in ``cap_fractions``
+    order either way.
     """
-    spec = get_gpu_spec(gpu_model)
-    model = GpuPowerModel(spec)
-    baseline_energy = float(model.energy_for_work(1.0, utilization, None))
-    points: list[PowerCapSweepPoint] = []
+    if not cap_fractions:
+        return []
     for fraction in cap_fractions:
         if not 0.0 < fraction <= 1.0:
             raise SchedulingError(f"cap fractions must lie in (0, 1], got {fraction!r}")
-        cap_w = float(model.clamp_power_limit(fraction * spec.tdp_w))
-        slowdown = float(model.slowdown_factor(cap_w, utilization))
-        energy = float(model.energy_for_work(1.0, utilization, cap_w))
-        relative_energy = energy / baseline_energy
-        points.append(
-            PowerCapSweepPoint(
-                cap_fraction=float(fraction),
-                cap_w=cap_w,
-                relative_runtime=slowdown,
-                relative_energy=relative_energy,
-                energy_savings_pct=100.0 * (1.0 - relative_energy),
-                runtime_penalty_pct=100.0 * (slowdown - 1.0),
-            )
-        )
-    return points
+    spec = get_gpu_spec(gpu_model)
+    model = GpuPowerModel(spec)
+    baseline_energy = float(model.energy_for_work(1.0, utilization, None))
+    sweep = ParameterSweep(
+        partial(
+            _evaluate_cap_point,
+            gpu_model=gpu_model,
+            utilization=utilization,
+            baseline_energy=baseline_energy,
+        ),
+        parallel=parallel or ParallelConfig(),
+    )
+    result = sweep.run_grid({"cap_fraction": [float(f) for f in cap_fractions]})
+    return list(result.values)

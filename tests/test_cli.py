@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import csv
+import io
 import json
 import math
 
@@ -100,6 +102,114 @@ class TestRegistryDrivenCLI:
         payload = json.loads(out)
         assert "NaN" not in out
         assert payload["rows"][0]["energy_savings_pct"] is not None
+
+
+class TestSweepCommand:
+    def test_sweep_text_output(self, capsys):
+        argv = ["sweep", "--experiments", "table1,powercap", "--grid", "seed=0,1"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "point_seed" in out
+        assert "4 campaign point(s) across 2 experiment(s)" in out
+
+    def test_sweep_json_rows(self, capsys):
+        argv = [
+            "sweep", "--experiments", "table1", "--grid", "seed=0,1",
+            "--grid", "n_months=3,4", "--json",
+        ]
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_points"] == 4
+        assert [row["seed"] for row in payload["rows"]] == [0, 0, 1, 1]
+        assert payload["campaign"]["scenario_grid"]["n_months"] == [3, 4]
+
+    def test_sweep_parallel_rows_match_serial(self, capsys):
+        argv = [
+            "sweep", "--experiments", "table1,powercap",
+            "--grid", "seed=0,1", "--grid", "n_months=3,4", "--json",
+        ]
+        assert main(argv) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main([*argv, "--workers", "2"]) == 0
+        parallel = json.loads(capsys.readouterr().out)
+        assert serial["rows"] == parallel["rows"]
+
+    def test_sweep_csv_output(self, capsys):
+        argv = ["sweep", "--experiments", "table1", "--grid", "seed=0,1", "--csv"]
+        assert main(argv) == 0
+        parsed = list(csv.DictReader(io.StringIO(capsys.readouterr().out)))
+        assert len(parsed) == 2
+        assert parsed[0]["experiment"] == "table1"
+
+    def test_sweep_json_and_csv_conflict(self, capsys):
+        argv = ["sweep", "--experiments", "table1", "--json", "--csv"]
+        assert main(argv) == 1
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_sweep_param_grid_uses_declared_types(self, capsys):
+        argv = [
+            "--months", "3", "sweep", "--experiments", "shifting",
+            "--grid", "deferrable=0.2,0.4", "--json",
+        ]
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [row["deferrable"] for row in payload["rows"]] == [0.2, 0.4]
+
+    def test_sweep_site_grid(self, capsys):
+        argv = [
+            "--months", "3", "sweep", "--experiments", "table1",
+            "--grid", "site=holyoke-ma,phoenix-az", "--json",
+        ]
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [row["site"] for row in payload["rows"]] == ["holyoke-ma", "phoenix-az"]
+
+    def test_sweep_unknown_grid_key_errors(self, capsys):
+        argv = ["sweep", "--experiments", "table1", "--grid", "bogus=1"]
+        assert main(argv) == 1
+        err = capsys.readouterr().err
+        assert "unknown grid key" in err and "seed" in err
+
+    def test_sweep_duplicate_grid_key_errors(self, capsys):
+        argv = ["sweep", "--experiments", "table1", "--grid", "seed=0,1", "--grid", "seed=2,3"]
+        assert main(argv) == 1
+        assert "duplicate grid key" in capsys.readouterr().err
+
+    def test_sweep_malformed_grid_errors(self, capsys):
+        assert main(["sweep", "--experiments", "table1", "--grid", "seed"]) == 1
+        assert "KEY=V1,V2" in capsys.readouterr().err
+
+    def test_sweep_unparseable_grid_value_errors(self, capsys):
+        assert main(["sweep", "--experiments", "table1", "--grid", "seed=zero"]) == 1
+        assert "could not parse" in capsys.readouterr().err
+
+
+class TestWorkersFlag:
+    def test_workers_accepted_by_experiment_subcommands(self, capsys):
+        assert main(["--months", "2", "--workers", "2", "--json", "stress"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment"] == "stress"
+
+    def test_env_fallback(self, capsys, monkeypatch):
+        monkeypatch.setenv("GREENHPC_WORKERS", "2")
+        argv = ["sweep", "--experiments", "table1", "--grid", "seed=0,1"]
+        assert main(argv) == 0
+        assert "2 worker(s)" in capsys.readouterr().out
+
+    def test_flag_overrides_env(self, capsys, monkeypatch):
+        monkeypatch.setenv("GREENHPC_WORKERS", "4")
+        argv = ["--workers", "1", "sweep", "--experiments", "table1", "--grid", "seed=0,1"]
+        assert main(argv) == 0
+        assert "1 worker(s)" in capsys.readouterr().out
+
+    def test_invalid_env_value_errors(self, capsys, monkeypatch):
+        monkeypatch.setenv("GREENHPC_WORKERS", "many")
+        assert main(["sweep", "--experiments", "table1"]) == 1
+        assert "GREENHPC_WORKERS" in capsys.readouterr().err
+
+    def test_negative_workers_rejected(self, capsys):
+        assert main(["--workers", "-1", "sweep", "--experiments", "table1"]) == 1
+        assert "n_workers" in capsys.readouterr().err
 
 
 class TestPrintRows:

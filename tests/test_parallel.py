@@ -1,5 +1,7 @@
 """Tests for the parallel sweep harness."""
 
+import time
+
 import pytest
 
 from repro.errors import ConfigurationError
@@ -9,6 +11,13 @@ from repro.parallel.sweep import ParameterSweep, SweepPoint, SweepResult, grid_p
 
 def square(x: int) -> int:
     return x * x
+
+
+def uneven_identity(x: int) -> int:
+    """Module-level (picklable) task whose duration *decreases* with x, so
+    later tasks finish first and only explicit ordering keeps results sorted."""
+    time.sleep(0.02 * (3 - x % 4))
+    return x
 
 
 def evaluate_point(point: SweepPoint) -> float:
@@ -45,8 +54,17 @@ class TestMapParallel:
         config = ParallelConfig(n_workers=2, min_tasks_for_processes=2)
         assert map_parallel(square, list(range(12)), config) == [i * i for i in range(12)]
 
+    def test_process_pool_preserves_task_order_despite_uneven_durations(self):
+        config = ParallelConfig(n_workers=4, min_tasks_for_processes=2, chunksize=1)
+        assert map_parallel(uneven_identity, list(range(8)), config) == list(range(8))
+
     def test_empty_tasks(self):
         assert map_parallel(square, []) == []
+
+    def test_automatic_chunksize(self):
+        assert ParallelConfig(n_workers=2).resolved_chunksize(100) == 13
+        assert ParallelConfig(n_workers=2).resolved_chunksize(1) == 1
+        assert ParallelConfig(n_workers=2, chunksize=5).resolved_chunksize(100) == 5
 
 
 class TestGridPoints:
@@ -65,6 +83,18 @@ class TestGridPoints:
         a = grid_points({"a": [1, 2]}, seed=5)
         b = grid_points({"a": [1, 2]}, seed=5)
         assert [p.seed for p in a] == [p.seed for p in b]
+
+    def test_seeds_stable_across_runs_and_processes(self):
+        # Derived seeds are BLAKE2b-based, so they must match these pinned
+        # values in any process, interpreter session or Python version —
+        # a campaign re-run months later reproduces the same points.
+        points = grid_points({"a": [1, 2], "b": [10, 20]}, seed=42)
+        assert [p.seed for p in points] == [
+            4855536404127542885,
+            7525757399721297431,
+            8268158626854750867,
+            5970367624608819403,
+        ]
 
     def test_empty_grid_rejected(self):
         with pytest.raises(ConfigurationError):
@@ -92,6 +122,14 @@ class TestParameterSweep:
         assert best_value == 13.0
         worst_point, worst_value = result.best(lambda v: v, maximize=True)
         assert worst_value == 24.0
+
+    def test_best_breaks_ties_by_lowest_index_in_both_modes(self):
+        points = tuple(SweepPoint(index=i, params={"i": i}, seed=i) for i in range(4))
+        result = SweepResult(points=points, values=(7.0, 7.0, 7.0, 7.0))
+        minimised_point, _ = result.best(lambda v: v)
+        maximised_point, _ = result.best(lambda v: v, maximize=True)
+        assert minimised_point.index == 0
+        assert maximised_point.index == 0
 
     def test_empty_points_rejected(self):
         with pytest.raises(ConfigurationError):
