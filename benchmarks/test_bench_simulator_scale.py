@@ -1,0 +1,320 @@
+"""PERF-SIM-SCALE — the simulator-core scale tier (small / medium / large).
+
+Every experiment in the reproduction bottoms out in ``ClusterSimulator.run``,
+so its speed bounds how many scenarios a campaign can afford.  This benchmark
+times the incremental array-backed core on three site sizes:
+
+* **small** — 16 nodes x 4 GPUs, 500 jobs, one week;
+* **medium** — 64 nodes x 4 GPUs, 2 000 jobs, 28 days (the profiled workload
+  from the perf issue: 11.5 M Python calls and ~4.6 s of profile time on the
+  scan-based core);
+* **large** — the registered ``supercloud-large`` scenario's facility
+  (256 nodes x 8 A100s), 4 000 jobs, 28 days.
+
+It also proves the headroom directly: the pre-refactor scan-based cluster
+(whole-cluster ``refresh_state`` sweeps, per-query free-list rebuilds, full
+rescans for IT power) is embedded below verbatim and run through the same
+event loop on the medium workload.  The incremental core must beat it by at
+least 5x while producing bit-identical job records.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+import pytest
+
+from benchmarks._report import print_header, print_rows
+from repro.climate.weather import WeatherModel
+from repro.cluster.cooling import CoolingModel
+from repro.cluster.resources import Cluster
+from repro.cluster.simulator import ClusterSimulator, SimulationConfig
+from repro.config import FacilityConfig
+from repro.errors import ResourceError
+from repro.experiments.spec import get_scenario
+from repro.grid.iso_ne import IsoNeLikeGrid
+from repro.scheduler.backfill import BackfillScheduler
+from repro.timeutils import SimulationCalendar
+from repro.workloads.demand import DeadlineDemandModel
+from repro.workloads.supercloud import SuperCloudTraceConfig, SuperCloudTraceGenerator
+
+SEED = 0
+HORIZON_28D = 28 * 24.0
+
+LARGE_SCENARIO = get_scenario("supercloud-large")
+
+#: tier -> (facility, gpu_model, n_jobs, horizon_h)
+TIERS: dict[str, tuple[FacilityConfig, str, int, float]] = {
+    "small": (FacilityConfig(n_nodes=16, gpus_per_node=4), "V100", 500, 7 * 24.0),
+    "medium": (FacilityConfig(n_nodes=64, gpus_per_node=4), "V100", 2000, HORIZON_28D),
+    "large": (LARGE_SCENARIO.facility, LARGE_SCENARIO.workload.gpu_model, 4000, HORIZON_28D),
+}
+
+
+def _build_world(tier: str):
+    facility, gpu_model, n_jobs, horizon_h = TIERS[tier]
+    calendar = SimulationCalendar(start_year=2020, n_months=2)
+    weather = WeatherModel(seed=SEED).hourly_temperature_c(calendar)
+    grid = IsoNeLikeGrid(calendar, seed=SEED)
+    generator = SuperCloudTraceGenerator(
+        SuperCloudTraceConfig(facility=facility, gpu_model=gpu_model),
+        demand_model=DeadlineDemandModel(seed=SEED),
+        seed=SEED,
+    )
+    jobs = generator.generate_jobs(n_jobs=n_jobs, horizon_h=horizon_h)
+    return facility, gpu_model, weather, grid, jobs, horizon_h
+
+
+@pytest.fixture(scope="module")
+def worlds():
+    return {tier: _build_world(tier) for tier in TIERS}
+
+
+def _run(cluster, weather, grid, jobs, horizon_h):
+    simulator = ClusterSimulator(
+        cluster,
+        BackfillScheduler(),
+        SimulationConfig(horizon_h=horizon_h),
+        weather_hourly_c=weather,
+        cooling=CoolingModel(),
+        grid=grid,
+    )
+    return simulator.run([job.clone_pending() for job in jobs])
+
+
+@pytest.mark.parametrize("tier", list(TIERS))
+def test_bench_simulator_scale(benchmark, worlds, tier):
+    facility, gpu_model, weather, grid, jobs, horizon_h = worlds[tier]
+    result = benchmark.pedantic(
+        lambda: _run(Cluster(facility, gpu_model=gpu_model), weather, grid, jobs, horizon_h),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    print_header(f"Simulator scale tier: {tier}")
+    print_rows(
+        [
+            {
+                "nodes": facility.n_nodes,
+                "gpus": facility.total_gpus,
+                "jobs": len(jobs),
+                "horizon_d": horizon_h / 24.0,
+                "completed": result.completed_jobs,
+                "delivered_gpu_h": result.delivered_gpu_hours,
+                "facility_energy_kwh": result.facility_energy_kwh,
+            }
+        ]
+    )
+    assert result.completed_jobs > 0.9 * len(jobs)
+    assert result.facility_energy_kwh > 0
+
+
+# ---------------------------------------------------------------------------
+# The pre-refactor scan-based cluster, embedded verbatim as the speed baseline
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _LegacyGpu:
+    node_id: int
+    index: int
+    allocated_job_id: Optional[str] = None
+    power_limit_w: Optional[float] = None
+    utilization: float = 0.0
+
+    @property
+    def is_free(self) -> bool:
+        return self.allocated_job_id is None
+
+
+class _LegacyNodeState(enum.Enum):
+    IDLE = "idle"
+    ACTIVE = "active"
+    DRAINED = "drained"
+
+
+@dataclass
+class _LegacyNode:
+    node_id: int
+    gpus: list
+
+    state: "_LegacyNodeState" = _LegacyNodeState.IDLE
+
+    @property
+    def free_gpus(self) -> list:
+        if self.state is _LegacyNodeState.DRAINED:
+            return []
+        return [g for g in self.gpus if g.is_free]
+
+    @property
+    def n_free_gpus(self) -> int:
+        return len(self.free_gpus)
+
+    @property
+    def is_occupied(self) -> bool:
+        return any(not g.is_free for g in self.gpus)
+
+    def refresh_state(self) -> None:
+        if self.state is _LegacyNodeState.DRAINED:
+            return
+        self.state = _LegacyNodeState.ACTIVE if self.is_occupied else _LegacyNodeState.IDLE
+
+
+class LegacyScanCluster:
+    """The seed implementation's cluster: whole-cluster scans on every query."""
+
+    def __init__(self, facility: FacilityConfig, gpu_model: str = "V100") -> None:
+        from repro.telemetry.gpu_power import GpuPowerModel, get_gpu_spec
+
+        self.facility = facility
+        self.gpu_spec = get_gpu_spec(gpu_model)
+        self.gpu_power_model = GpuPowerModel(self.gpu_spec)
+        self.nodes = [
+            _LegacyNode(
+                node_id=node_id,
+                gpus=[_LegacyGpu(node_id=node_id, index=i) for i in range(facility.gpus_per_node)],
+            )
+            for node_id in range(facility.n_nodes)
+        ]
+        self._allocations = {}
+
+    @property
+    def n_free_gpus(self) -> int:
+        return sum(node.n_free_gpus for node in self.nodes)
+
+    def can_fit(self, n_gpus: int) -> bool:
+        if n_gpus <= 0:
+            raise ResourceError(f"n_gpus must be positive, got {n_gpus!r}")
+        return self.n_free_gpus >= n_gpus
+
+    def iter_gpus(self):
+        return itertools.chain.from_iterable(node.gpus for node in self.nodes)
+
+    def allocate(self, job_id, n_gpus, *, utilization=1.0, power_limit_w=None, pack=True):
+        from repro.cluster.resources import Allocation
+
+        if job_id in self._allocations:
+            raise ResourceError(f"job {job_id!r} already holds an allocation")
+        if not self.can_fit(n_gpus):
+            raise ResourceError(f"cannot allocate {n_gpus} GPUs")
+        candidates = [node for node in self.nodes if node.n_free_gpus > 0]
+        chosen = []
+        if pack:
+            candidates.sort(key=lambda node: (node.n_free_gpus, node.node_id))
+            for node in candidates:
+                for gpu in node.free_gpus:
+                    chosen.append(gpu)
+                    if len(chosen) == n_gpus:
+                        break
+                if len(chosen) == n_gpus:
+                    break
+        else:
+            free_by_node = {node.node_id: list(node.free_gpus) for node in candidates}
+            while len(chosen) < n_gpus:
+                node_id = max(free_by_node, key=lambda nid: (len(free_by_node[nid]), -nid))
+                chosen.append(free_by_node[node_id].pop(0))
+                if not free_by_node[node_id]:
+                    del free_by_node[node_id]
+        locations = []
+        for gpu in chosen:
+            gpu.allocated_job_id = job_id
+            gpu.utilization = float(utilization)
+            gpu.power_limit_w = power_limit_w
+            locations.append((gpu.node_id, gpu.index))
+        for node in self.nodes:
+            node.refresh_state()
+        allocation = Allocation(job_id=job_id, gpu_locations=tuple(locations))
+        self._allocations[job_id] = allocation
+        return allocation
+
+    def release(self, job_id):
+        allocation = self._allocations.pop(job_id, None)
+        if allocation is None:
+            raise ResourceError(f"job {job_id!r} holds no allocation")
+        gpu_by_location = {(g.node_id, g.index): g for g in self.iter_gpus()}
+        for location in allocation.gpu_locations:
+            gpu = gpu_by_location[location]
+            gpu.allocated_job_id = None
+            gpu.utilization = 0.0
+            gpu.power_limit_w = None
+        for node in self.nodes:
+            node.refresh_state()
+        return allocation
+
+    def it_power_w(self) -> float:
+        power = 0.0
+        busy_utils, busy_caps = [], []
+        for node in self.nodes:
+            if node.state is _LegacyNodeState.DRAINED:
+                continue
+            power += self.facility.node_idle_power_w
+            occupied = False
+            for gpu in node.gpus:
+                if gpu.is_free:
+                    power += self.gpu_spec.idle_power_w
+                else:
+                    occupied = True
+                    busy_utils.append(gpu.utilization)
+                    busy_caps.append(
+                        gpu.power_limit_w if gpu.power_limit_w is not None else self.gpu_spec.tdp_w
+                    )
+            if occupied:
+                power += self.facility.node_active_overhead_w
+        if busy_utils:
+            power += float(
+                np.sum(self.gpu_power_model.power_w(np.asarray(busy_utils), np.asarray(busy_caps)))
+            )
+        return power
+
+
+def _records_key(result):
+    return [
+        (r.job_id, r.start_time_h, r.finish_time_h, r.energy_j, r.completed)
+        for r in result.job_records
+    ]
+
+
+def test_bench_incremental_vs_scan_speedup(worlds):
+    """The tentpole claim: >= 5x over the scan-based core on the profiled workload."""
+    facility, gpu_model, weather, grid, jobs, horizon_h = worlds["medium"]
+
+    t0 = time.perf_counter()
+    legacy_result = _run(LegacyScanCluster(facility, gpu_model), weather, grid, jobs, horizon_h)
+    legacy_s = time.perf_counter() - t0
+
+    fast_runs = []
+    for _ in range(3):
+        t0 = time.perf_counter()
+        fast_result = _run(Cluster(facility, gpu_model=gpu_model), weather, grid, jobs, horizon_h)
+        fast_runs.append(time.perf_counter() - t0)
+    fast_s = min(fast_runs)
+    speedup = legacy_s / fast_s
+
+    print_header("Incremental array-backed core vs. pre-refactor scan-based core (medium tier)")
+    print_rows(
+        [
+            {
+                "core": "scan-based (seed)",
+                "wall_s": legacy_s,
+                "speedup": 1.0,
+            },
+            {
+                "core": "incremental (this PR)",
+                "wall_s": fast_s,
+                "speedup": speedup,
+            },
+        ]
+    )
+    print(f"reading: identical workload, identical job records; {speedup:.1f}x faster event loop")
+
+    # Identical outcomes, much less time.
+    assert _records_key(fast_result) == _records_key(legacy_result)
+    np.testing.assert_allclose(
+        fast_result.it_power_w, legacy_result.it_power_w, rtol=1e-9
+    )
+    assert speedup >= 5.0, f"expected >= 5x over the scan-based core, got {speedup:.2f}x"

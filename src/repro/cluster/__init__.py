@@ -13,13 +13,33 @@ framework (Eq. 1) optimizes:
   trace under a scheduling policy and produces hourly power series, job
   statistics, and energy/cost/carbon totals.
 * :mod:`~repro.cluster.utilization` — utilization accounting helpers.
+
+Incremental state model
+-----------------------
+The cluster core is built around persistent, incrementally-maintained state
+rather than recomputation.  Per-GPU state (allocated mask, utilization, power
+cap) lives in NumPy arrays on :class:`~repro.cluster.resources.Cluster`;
+per-node free counters and cluster-wide occupancy totals are updated only for
+the nodes an ``allocate``/``release``/``drain`` actually touches, and the
+cluster's IT power is delta-maintained so the simulator reads it in O(1) at
+every tick and scheduling round.  :class:`~repro.cluster.resources.Node` and
+:class:`~repro.cluster.resources.GpuResource` remain available as lightweight
+views over the arrays, so scheduler policies and user code keep their
+historical object API.  ``Cluster.recompute_it_power_w`` is the vectorized
+full recompute retained as a debug/parity checkpoint (the simulator's
+``parity_check=True`` verifies the incremental value against it after every
+allocation change), and ``tests/test_cluster_state_parity.py`` pins the whole
+model — counters, power, and end-to-end ``SimulationResult`` outputs —
+against brute-force recounts and the pre-refactor implementation.  The
+``supercloud-large`` scenario (256 nodes x 8 A100s) and
+``benchmarks/test_bench_simulator_scale.py`` exercise the core at scale.
 """
 
 from .resources import GpuResource, NodeState, Node, Cluster, Allocation
 from .events import Event, EventType, EventQueue
 from .cooling import CoolingConfig, CoolingModel, FixedOverheadCooling, OptimizedCoolingController
 from .simulator import ClusterSimulator, SimulationConfig, SimulationResult, JobRecord
-from .utilization import UtilizationTracker, utilization_statistics
+from .utilization import UtilizationTracker, cluster_utilization_statistics, utilization_statistics
 
 __all__ = [
     "GpuResource",
@@ -39,5 +59,6 @@ __all__ = [
     "SimulationResult",
     "JobRecord",
     "UtilizationTracker",
+    "cluster_utilization_statistics",
     "utilization_statistics",
 ]

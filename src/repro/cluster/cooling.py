@@ -111,6 +111,17 @@ class CoolingModel:
         pue = np.where(temp <= cfg.free_cooling_threshold_c, cfg.min_pue, linear)
         return np.maximum(pue, cfg.min_pue)
 
+    def pue_series(self, hourly_temperature_c: ArrayLike) -> np.ndarray:
+        """PUE evaluated over a whole temperature trace in one vectorized pass.
+
+        Semantically identical to calling :meth:`pue` per element (the model
+        is elementwise), but done once up front; the cluster simulator
+        precomputes its hourly PUE curve through this instead of paying a
+        scalar ``np.asarray`` round-trip at every tick.
+        """
+        temperatures = np.asarray(hourly_temperature_c, dtype=float)
+        return np.asarray(self.pue(temperatures), dtype=float)
+
     # ------------------------------------------------------------------
     # Power / water
     # ------------------------------------------------------------------

@@ -5,14 +5,47 @@ paper raises (how many GPUs to supply, which jobs to start when, what power
 caps to enforce) only need GPU-count granularity with node boundaries, not a
 full topology.  Nodes matter because an occupied node burns non-GPU overhead
 power, so packing jobs onto fewer nodes is itself an energy lever.
+
+Incremental state model
+-----------------------
+Every experiment bottoms out in :class:`~repro.cluster.simulator.
+ClusterSimulator`, which queries and mutates this pool millions of times per
+run, so the pool is built for O(1) hot-path queries instead of whole-cluster
+rescans:
+
+* **Arrays are the source of truth.**  Per-GPU state lives in NumPy arrays
+  indexed ``[node, gpu]``: an allocated mask, the utilization driven by the
+  running job, and the enforced power cap (NaN = uncapped).  Job ids are kept
+  in a parallel list-of-lists (strings don't belong in float arrays).
+* **Counters are maintained, not recomputed.**  Per-node free-GPU counts, the
+  cluster-wide free/busy totals, and the occupied/drained node counts are
+  updated by the few GPUs each ``allocate``/``release`` touches, so
+  ``n_free_gpus`` / ``can_fit`` are O(1) and placement sorts nodes by
+  occupancy with one vectorized ``argsort`` instead of rebuilding per-node
+  free lists.
+* **IT power is delta-maintained.**  Each allocation contributes
+  ``n_gpus x power_w(utilization, cap)`` (uniform across a job's GPUs by
+  construction); ``allocate``/``release``/``set_power_limit``/``drain_nodes``
+  adjust a running total so :meth:`Cluster.it_power_w` is an O(1) read.
+  :meth:`Cluster.recompute_it_power_w` is the vectorized full recompute kept
+  as a debug/parity checkpoint (and the fallback whenever per-GPU state was
+  mutated directly through the view objects below).
+* **``Node`` and ``GpuResource`` are views.**  The historical object API
+  (``cluster.nodes``, ``node.free_gpus``, ``gpu.is_free``, …) is preserved as
+  lightweight views over the arrays, so schedulers, tests and user code read
+  the same state without the pool paying to keep thousands of Python objects
+  coherent.  Writing through a view keeps the counters correct but drops the
+  power cache to the recompute path until the cluster next drains empty.
 """
 
 from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Optional
+
+import numpy as np
 
 from ..config import FacilityConfig
 from ..errors import ResourceError
@@ -21,9 +54,8 @@ from ..telemetry.gpu_power import GpuPowerModel, GpuSpec, get_gpu_spec
 __all__ = ["GpuResource", "NodeState", "Node", "Allocation", "Cluster"]
 
 
-@dataclass
 class GpuResource:
-    """One physical GPU in the cluster.
+    """One physical GPU in the cluster — a view over the cluster's state arrays.
 
     Attributes
     ----------
@@ -35,18 +67,61 @@ class GpuResource:
         Power cap enforced on the device (``None`` means TDP).
     utilization:
         Current compute utilization driven by the running job.
+
+    Reads come straight from the backing arrays; writes go through the
+    cluster so the incremental counters stay consistent (direct writes also
+    invalidate the delta-maintained power cache — see module docstring).
     """
 
-    node_id: int
-    index: int
-    allocated_job_id: Optional[str] = None
-    power_limit_w: Optional[float] = None
-    utilization: float = 0.0
+    __slots__ = ("_cluster", "node_id", "index")
+
+    def __init__(self, cluster: "Cluster", node_id: int, index: int) -> None:
+        self._cluster = cluster
+        self.node_id = node_id
+        self.index = index
+
+    @property
+    def allocated_job_id(self) -> Optional[str]:
+        """Id of the job using the device (``None`` when free)."""
+        return self._cluster._job_ids[self.node_id][self.index]
+
+    @allocated_job_id.setter
+    def allocated_job_id(self, job_id: Optional[str]) -> None:
+        self._cluster._set_gpu_job_id(self.node_id, self.index, job_id)
+
+    @property
+    def utilization(self) -> float:
+        """Current compute utilization in [0, 1]."""
+        return float(self._cluster._utilization[self.node_id, self.index])
+
+    @utilization.setter
+    def utilization(self, value: float) -> None:
+        self._cluster._utilization[self.node_id, self.index] = float(value)
+        self._cluster._power_dirty = True
+
+    @property
+    def power_limit_w(self) -> Optional[float]:
+        """Enforced power cap in watts (``None`` means TDP)."""
+        cap = self._cluster._power_cap_w[self.node_id, self.index]
+        return None if np.isnan(cap) else float(cap)
+
+    @power_limit_w.setter
+    def power_limit_w(self, value: Optional[float]) -> None:
+        self._cluster._power_cap_w[self.node_id, self.index] = (
+            np.nan if value is None else float(value)
+        )
+        self._cluster._power_dirty = True
 
     @property
     def is_free(self) -> bool:
         """Whether the GPU is currently unallocated."""
-        return self.allocated_job_id is None
+        return not self._cluster._allocated[self.node_id, self.index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GpuResource(node_id={self.node_id}, index={self.index}, "
+            f"allocated_job_id={self.allocated_job_id!r})"
+        )
 
 
 class NodeState(enum.Enum):
@@ -57,46 +132,73 @@ class NodeState(enum.Enum):
     DRAINED = "drained"
 
 
-@dataclass
 class Node:
-    """A GPU compute node."""
+    """A GPU compute node — a view over the cluster's state arrays.
 
-    node_id: int
-    gpus: list[GpuResource]
-    state: NodeState = NodeState.IDLE
+    ``state`` is derived (drained flag, else occupied → ACTIVE, else IDLE)
+    instead of being refreshed by whole-cluster sweeps after every
+    allocation change.
+    """
+
+    __slots__ = ("_cluster", "node_id", "gpus")
+
+    def __init__(self, cluster: "Cluster", node_id: int) -> None:
+        self._cluster = cluster
+        self.node_id = node_id
+        self.gpus: list[GpuResource] = [
+            GpuResource(cluster, node_id, i) for i in range(cluster._gpus_per_node)
+        ]
 
     @property
     def n_gpus(self) -> int:
         """Total GPUs on the node."""
-        return len(self.gpus)
+        return self._cluster._gpus_per_node
 
     @property
     def free_gpus(self) -> list[GpuResource]:
         """GPUs currently unallocated (empty when the node is drained)."""
-        if self.state is NodeState.DRAINED:
+        cluster = self._cluster
+        if cluster._drained[self.node_id]:
             return []
-        return [g for g in self.gpus if g.is_free]
+        allocated_row = cluster._allocated[self.node_id]
+        return [gpu for gpu, taken in zip(self.gpus, allocated_row) if not taken]
 
     @property
     def n_free_gpus(self) -> int:
-        """Number of free GPUs on the node."""
-        return len(self.free_gpus)
+        """Number of free GPUs on the node (0 when drained)."""
+        cluster = self._cluster
+        if cluster._drained[self.node_id]:
+            return 0
+        return int(cluster._node_free[self.node_id])
 
     @property
     def n_busy_gpus(self) -> int:
         """Number of allocated GPUs on the node."""
-        return sum(1 for g in self.gpus if not g.is_free)
+        cluster = self._cluster
+        return cluster._gpus_per_node - int(cluster._node_free[self.node_id])
 
     @property
     def is_occupied(self) -> bool:
         """Whether any GPU on the node is allocated."""
-        return self.n_busy_gpus > 0
+        cluster = self._cluster
+        return int(cluster._node_free[self.node_id]) < cluster._gpus_per_node
+
+    @property
+    def state(self) -> NodeState:
+        """Operational state, derived from the drain flag and occupancy."""
+        cluster = self._cluster
+        if cluster._drained[self.node_id]:
+            return NodeState.DRAINED
+        return NodeState.ACTIVE if self.is_occupied else NodeState.IDLE
 
     def refresh_state(self) -> None:
-        """Update the IDLE/ACTIVE state from current allocations (drained nodes stay drained)."""
-        if self.state is NodeState.DRAINED:
-            return
-        self.state = NodeState.ACTIVE if self.is_occupied else NodeState.IDLE
+        """Kept for API compatibility; state is now derived, nothing to refresh."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Node(node_id={self.node_id}, state={self.state.value!r}, "
+            f"free={self.n_free_gpus}/{self.n_gpus})"
+        )
 
 
 @dataclass(frozen=True)
@@ -116,6 +218,10 @@ class Allocation:
         """Distinct node ids touched by the allocation (sorted)."""
         return tuple(sorted({node_id for node_id, _ in self.gpu_locations}))
 
+    def resolve(self, cluster: "Cluster") -> list[GpuResource]:
+        """The allocation's GPU views on ``cluster``, resolved directly by location."""
+        return [cluster.nodes[node_id].gpus[index] for node_id, index in self.gpu_locations]
+
 
 class Cluster:
     """The cluster's GPU pool with allocation and release book-keeping.
@@ -132,42 +238,58 @@ class Cluster:
         self.facility = facility or FacilityConfig()
         self.gpu_spec: GpuSpec = get_gpu_spec(gpu_model)
         self.gpu_power_model = GpuPowerModel(self.gpu_spec)
-        self.nodes: list[Node] = [
-            Node(
-                node_id=node_id,
-                gpus=[GpuResource(node_id=node_id, index=i) for i in range(self.facility.gpus_per_node)],
-            )
-            for node_id in range(self.facility.n_nodes)
+        n_nodes = self.facility.n_nodes
+        gpus_per_node = self.facility.gpus_per_node
+        self._n_nodes = n_nodes
+        self._gpus_per_node = gpus_per_node
+        # Per-GPU state arrays [node, gpu] — the source of truth.
+        self._allocated = np.zeros((n_nodes, gpus_per_node), dtype=bool)
+        self._utilization = np.zeros((n_nodes, gpus_per_node), dtype=float)
+        self._power_cap_w = np.full((n_nodes, gpus_per_node), np.nan)
+        self._job_ids: list[list[Optional[str]]] = [
+            [None] * gpus_per_node for _ in range(n_nodes)
         ]
+        # Incrementally maintained counters.
+        self._node_free = np.full(n_nodes, gpus_per_node, dtype=np.int64)
+        self._drained = np.zeros(n_nodes, dtype=bool)
+        self._free_gpus_nondrained = n_nodes * gpus_per_node
+        self._busy_gpus = 0
+        self._n_occupied = 0
+        self._n_drained = 0
+        # Delta-maintained IT power: per-job per-GPU power and the busy total.
+        self._busy_power_w = 0.0
+        self._job_power_w: dict[str, float] = {}
+        self._power_dirty = False
         self._allocations: dict[str, Allocation] = {}
+        self.nodes: list[Node] = [Node(self, node_id) for node_id in range(n_nodes)]
 
     # ------------------------------------------------------------------
-    # Capacity queries
+    # Capacity queries (all O(1) reads of maintained counters)
     # ------------------------------------------------------------------
     @property
     def total_gpus(self) -> int:
         """Total GPUs in the cluster."""
-        return sum(node.n_gpus for node in self.nodes)
+        return self._n_nodes * self._gpus_per_node
 
     @property
     def n_free_gpus(self) -> int:
-        """Currently free GPUs."""
-        return sum(node.n_free_gpus for node in self.nodes)
+        """Currently free GPUs (on non-drained nodes)."""
+        return self._free_gpus_nondrained
 
     @property
     def n_busy_gpus(self) -> int:
         """Currently allocated GPUs."""
-        return sum(node.n_busy_gpus for node in self.nodes)
+        return self._busy_gpus
 
     @property
     def n_occupied_nodes(self) -> int:
         """Nodes with at least one allocated GPU."""
-        return sum(1 for node in self.nodes if node.is_occupied)
+        return self._n_occupied
 
     @property
     def n_drained_nodes(self) -> int:
         """Nodes administratively removed from service."""
-        return sum(1 for node in self.nodes if node.state is NodeState.DRAINED)
+        return self._n_drained
 
     @property
     def allocations(self) -> dict[str, Allocation]:
@@ -176,16 +298,20 @@ class Cluster:
 
     def gpu_utilization_fraction(self) -> float:
         """Fraction of (non-drained) GPUs currently allocated."""
-        available = sum(node.n_gpus for node in self.nodes if node.state is not NodeState.DRAINED)
+        available = (self._n_nodes - self._n_drained) * self._gpus_per_node
         if available == 0:
             return 0.0
-        return self.n_busy_gpus / available
+        return self._busy_gpus / available
 
     def can_fit(self, n_gpus: int) -> bool:
         """Whether ``n_gpus`` GPUs are currently free (across any nodes)."""
         if n_gpus <= 0:
             raise ResourceError(f"n_gpus must be positive, got {n_gpus!r}")
-        return self.n_free_gpus >= n_gpus
+        return self._free_gpus_nondrained >= n_gpus
+
+    def busy_utilizations(self) -> np.ndarray:
+        """Utilizations of the currently-busy GPUs (node-major order)."""
+        return self._utilization[self._allocated]
 
     # ------------------------------------------------------------------
     # Allocation / release
@@ -205,6 +331,7 @@ class Cluster:
         GPUs are taken from the most-occupied nodes first so fewer nodes are
         woken up; with ``pack=False`` they are taken from the least-occupied
         nodes (spreading, which can help thermals but costs idle overhead).
+        Only the touched nodes' counters are updated.
         """
         if job_id in self._allocations:
             raise ResourceError(f"job {job_id!r} already holds an allocation")
@@ -214,51 +341,94 @@ class Cluster:
             raise ResourceError(
                 f"cannot allocate {n_gpus} GPUs: only {self.n_free_gpus} free"
             )
-        candidates = [node for node in self.nodes if node.n_free_gpus > 0]
-        chosen: list[GpuResource] = []
+        free = np.where(self._drained, 0, self._node_free)
+        locations: list[tuple[int, int]] = []
         if pack:
-            # Fill the most-occupied nodes first, taking whole nodes at a time.
-            candidates.sort(key=lambda node: (node.n_free_gpus, node.node_id))
-            for node in candidates:
-                for gpu in node.free_gpus:
-                    chosen.append(gpu)
-                    if len(chosen) == n_gpus:
-                        break
-                if len(chosen) == n_gpus:
+            # Fill the most-occupied nodes first (ties by node id, which the
+            # stable argsort preserves since candidates are id-ordered).
+            candidates = np.flatnonzero(free > 0)
+            order = candidates[np.argsort(free[candidates], kind="stable")]
+            remaining = n_gpus
+            for node_id in order:
+                free_indices = np.flatnonzero(~self._allocated[node_id])
+                take = free_indices if free_indices.size <= remaining else free_indices[:remaining]
+                node_id = int(node_id)
+                locations.extend((node_id, int(index)) for index in take)
+                remaining -= take.size
+                if remaining == 0:
                     break
         else:
-            # Spread: take one GPU at a time from the emptiest node remaining.
-            free_by_node = {node.node_id: list(node.free_gpus) for node in candidates}
-            while len(chosen) < n_gpus:
-                node_id = max(free_by_node, key=lambda nid: (len(free_by_node[nid]), -nid))
-                chosen.append(free_by_node[node_id].pop(0))
-                if not free_by_node[node_id]:
-                    del free_by_node[node_id]
-        locations = []
-        for gpu in chosen:
-            gpu.allocated_job_id = job_id
-            gpu.utilization = float(utilization)
-            gpu.power_limit_w = power_limit_w
-            locations.append((gpu.node_id, gpu.index))
-        for node in self.nodes:
-            node.refresh_state()
+            # Spread: take one GPU at a time from the emptiest node remaining
+            # (argmax returns the first maximum, i.e. the lowest node id).
+            free = free.copy()
+            cursors: dict[int, int] = {}
+            free_rows: dict[int, np.ndarray] = {}
+            for _ in range(n_gpus):
+                node_id = int(np.argmax(free))
+                row = free_rows.get(node_id)
+                if row is None:
+                    row = np.flatnonzero(~self._allocated[node_id])
+                    free_rows[node_id] = row
+                cursor = cursors.get(node_id, 0)
+                locations.append((node_id, int(row[cursor])))
+                cursors[node_id] = cursor + 1
+                free[node_id] -= 1
+        # Commit: per-GPU arrays, then the touched nodes' counters.
+        utilization = float(utilization)
+        cap = None if power_limit_w is None else float(power_limit_w)
+        cap_value = np.nan if cap is None else cap
+        gpus_per_node = self._gpus_per_node
+        newly_occupied = 0
+        node_free = self._node_free
+        for node_id, index in locations:
+            self._allocated[node_id, index] = True
+            self._utilization[node_id, index] = utilization
+            self._power_cap_w[node_id, index] = cap_value
+            self._job_ids[node_id][index] = job_id
+            if node_free[node_id] == gpus_per_node:
+                newly_occupied += 1
+            node_free[node_id] -= 1
+        self._free_gpus_nondrained -= n_gpus
+        self._busy_gpus += n_gpus
+        self._n_occupied += newly_occupied
+        per_gpu_power = self.gpu_power_model.power_w_scalar(utilization, cap)
+        self._job_power_w[job_id] = per_gpu_power
+        self._busy_power_w += n_gpus * per_gpu_power
         allocation = Allocation(job_id=job_id, gpu_locations=tuple(locations))
         self._allocations[job_id] = allocation
         return allocation
 
     def release(self, job_id: str) -> Allocation:
-        """Release a job's allocation, returning it."""
+        """Release a job's allocation, returning it.
+
+        The allocation's own ``gpu_locations`` index the state arrays
+        directly — no cluster-wide GPU index is rebuilt.
+        """
         allocation = self._allocations.pop(job_id, None)
         if allocation is None:
             raise ResourceError(f"job {job_id!r} holds no allocation")
-        gpu_by_location = {(g.node_id, g.index): g for g in self.iter_gpus()}
-        for location in allocation.gpu_locations:
-            gpu = gpu_by_location[location]
-            gpu.allocated_job_id = None
-            gpu.utilization = 0.0
-            gpu.power_limit_w = None
-        for node in self.nodes:
-            node.refresh_state()
+        gpus_per_node = self._gpus_per_node
+        node_free = self._node_free
+        newly_idle = 0
+        for node_id, index in allocation.gpu_locations:
+            self._allocated[node_id, index] = False
+            self._utilization[node_id, index] = 0.0
+            self._power_cap_w[node_id, index] = np.nan
+            self._job_ids[node_id][index] = None
+            node_free[node_id] += 1
+            if node_free[node_id] == gpus_per_node:
+                newly_idle += 1
+        n_gpus = allocation.n_gpus
+        self._free_gpus_nondrained += n_gpus
+        self._busy_gpus -= n_gpus
+        self._n_occupied -= newly_idle
+        per_gpu_power = self._job_power_w.pop(job_id, 0.0)
+        self._busy_power_w -= n_gpus * per_gpu_power
+        if self._busy_gpus == 0:
+            # Exact resynchronization point: an empty cluster has zero busy
+            # power by definition, which also clears any drift or dirtiness.
+            self._busy_power_w = 0.0
+            self._power_dirty = False
         return allocation
 
     def set_power_limit(self, job_id: str, power_limit_w: Optional[float]) -> None:
@@ -266,9 +436,18 @@ class Cluster:
         allocation = self._allocations.get(job_id)
         if allocation is None:
             raise ResourceError(f"job {job_id!r} holds no allocation")
-        gpu_by_location = {(g.node_id, g.index): g for g in self.iter_gpus()}
-        for location in allocation.gpu_locations:
-            gpu_by_location[location].power_limit_w = power_limit_w
+        cap = None if power_limit_w is None else float(power_limit_w)
+        cap_value = np.nan if cap is None else cap
+        for node_id, index in allocation.gpu_locations:
+            self._power_cap_w[node_id, index] = cap_value
+        # A job's GPUs share one utilization by construction, so its power
+        # contribution is a single scalar delta.
+        first_node, first_index = allocation.gpu_locations[0]
+        utilization = float(self._utilization[first_node, first_index])
+        new_power = self.gpu_power_model.power_w_scalar(utilization, cap)
+        old_power = self._job_power_w.get(job_id, 0.0)
+        self._job_power_w[job_id] = new_power
+        self._busy_power_w += allocation.n_gpus * (new_power - old_power)
 
     def drain_nodes(self, n_nodes: int) -> int:
         """Administratively drain up to ``n_nodes`` currently idle nodes.
@@ -280,20 +459,24 @@ class Cluster:
         if n_nodes < 0:
             raise ResourceError(f"n_nodes must be non-negative, got {n_nodes!r}")
         drained = 0
-        for node in self.nodes:
+        gpus_per_node = self._gpus_per_node
+        for node_id in range(self._n_nodes):
             if drained >= n_nodes:
                 break
-            if node.state is NodeState.IDLE and not node.is_occupied:
-                node.state = NodeState.DRAINED
+            if not self._drained[node_id] and self._node_free[node_id] == gpus_per_node:
+                self._drained[node_id] = True
+                self._n_drained += 1
+                self._free_gpus_nondrained -= gpus_per_node
                 drained += 1
         return drained
 
     def undrain_all(self) -> None:
         """Return every drained node to service."""
-        for node in self.nodes:
-            if node.state is NodeState.DRAINED:
-                node.state = NodeState.IDLE
-            node.refresh_state()
+        drained_ids = np.flatnonzero(self._drained)
+        if drained_ids.size:
+            self._free_gpus_nondrained += int(self._node_free[drained_ids].sum())
+            self._drained[drained_ids] = False
+            self._n_drained = 0
 
     # ------------------------------------------------------------------
     # Power
@@ -303,27 +486,79 @@ class Cluster:
 
         Sums GPU power (via the analytic power model, honouring per-GPU caps
         and utilizations), per-node idle power for non-drained nodes, and the
-        active-node overhead for occupied nodes.
+        active-node overhead for occupied nodes.  O(1): the busy-GPU term is
+        delta-maintained by ``allocate``/``release``/``set_power_limit``;
+        only direct per-GPU writes through the view objects force the
+        vectorized :meth:`recompute_it_power_w` path.
         """
-        power = 0.0
-        for node in self.nodes:
-            if node.state is NodeState.DRAINED:
-                continue
-            power += self.facility.node_idle_power_w
-            if node.is_occupied:
-                power += self.facility.node_active_overhead_w
-            for gpu in node.gpus:
-                if gpu.is_free:
-                    power += self.gpu_spec.idle_power_w
-                else:
-                    power += float(
-                        self.gpu_power_model.power_w(gpu.utilization, gpu.power_limit_w)
-                    )
-        return power
+        if self._power_dirty:
+            return self.recompute_it_power_w()
+        facility = self.facility
+        return (
+            facility.node_idle_power_w * (self._n_nodes - self._n_drained)
+            + facility.node_active_overhead_w * self._n_occupied
+            + self.gpu_spec.idle_power_w * self._free_gpus_nondrained
+            + self._busy_power_w
+        )
+
+    def recompute_it_power_w(self) -> float:
+        """Vectorized full recompute of IT power from the state arrays.
+
+        The debug/parity checkpoint for the delta-maintained value returned
+        by :meth:`it_power_w`: one pass over the arrays, independent of the
+        incremental counters.
+        """
+        facility = self.facility
+        live = ~self._drained
+        allocated = self._allocated[live]
+        n_busy = int(np.count_nonzero(allocated))
+        power = (
+            facility.node_idle_power_w * int(np.count_nonzero(live))
+            + facility.node_active_overhead_w * int(np.count_nonzero(allocated.any(axis=1)))
+            + self.gpu_spec.idle_power_w * (allocated.size - n_busy)
+        )
+        if n_busy:
+            utils = self._utilization[live][allocated]
+            caps = self._power_cap_w[live][allocated]
+            caps = np.where(np.isnan(caps), self.gpu_spec.tdp_w, caps)
+            power += float(np.sum(self.gpu_power_model.power_w(utils, caps)))
+        return float(power)
 
     def iter_gpus(self) -> Iterable[GpuResource]:
         """Iterate over every GPU in the cluster."""
         return itertools.chain.from_iterable(node.gpus for node in self.nodes)
+
+    # ------------------------------------------------------------------
+    # Direct per-GPU writes (view setters route through here)
+    # ------------------------------------------------------------------
+    def _set_gpu_job_id(self, node_id: int, index: int, job_id: Optional[str]) -> None:
+        """Write-through for ``GpuResource.allocated_job_id`` assignments.
+
+        Keeps the occupancy counters exact; the power cache is marked dirty
+        because out-of-band assignments carry no power bookkeeping.
+        """
+        was_allocated = bool(self._allocated[node_id, index])
+        now_allocated = job_id is not None
+        self._job_ids[node_id][index] = job_id
+        self._power_dirty = True
+        if was_allocated == now_allocated:
+            return
+        gpus_per_node = self._gpus_per_node
+        self._allocated[node_id, index] = now_allocated
+        if now_allocated:
+            if self._node_free[node_id] == gpus_per_node:
+                self._n_occupied += 1
+            self._node_free[node_id] -= 1
+            self._busy_gpus += 1
+            if not self._drained[node_id]:
+                self._free_gpus_nondrained -= 1
+        else:
+            self._node_free[node_id] += 1
+            if self._node_free[node_id] == gpus_per_node:
+                self._n_occupied -= 1
+            self._busy_gpus -= 1
+            if not self._drained[node_id]:
+                self._free_gpus_nondrained += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -14,10 +14,19 @@ Design notes
 * Event-driven: job submissions and completions are events; a TICK event at a
   fixed cadence records the power series and lets time-varying context
   (carbon intensity, temperature) influence scheduling decisions.
-* IT power is recomputed from the cluster state only when allocations change,
-  using a vectorized pass over busy GPUs, and cached between changes.
+* IT power is delta-maintained by the cluster itself: each allocate/release/
+  re-cap adjusts the running total by the affected job's own GPUs, so reading
+  it at a tick or scheduling round is O(1).  ``parity_check=True`` re-derives
+  the value from the state arrays (the vectorized debug checkpoint) after
+  every allocation change and raises on divergence.
+* The hourly PUE curve is evaluated once, vectorized over the whole weather
+  trace, at construction; per-round context lookups and the tick-series PUE
+  are O(1) indexing into it rather than per-tick scalar ``np.asarray``
+  round-trips.
 * Scheduling happens after every batch of simultaneous events, so a finish
   and the start of the next job can occur at the same simulated instant.
+  Started jobs are removed from the pending queue once per round (by id),
+  not by rebuilding the queue per started job.
 """
 
 from __future__ import annotations
@@ -34,7 +43,7 @@ from ..scheduler.base import ScheduleDecision, Scheduler, SchedulingContext
 from ..scheduler.job import Job, JobState
 from .cooling import CoolingModel
 from .events import EventQueue, EventType
-from .resources import Cluster, NodeState
+from .resources import Cluster
 
 __all__ = ["SimulationConfig", "JobRecord", "SimulationResult", "ClusterSimulator"]
 
@@ -235,6 +244,10 @@ class ClusterSimulator:
         Optional cooling model; without one the facility runs at PUE = 1.
     grid:
         Optional grid model supplying hourly carbon intensity and price.
+    parity_check:
+        When true, cross-check the delta-maintained IT power against the
+        vectorized full recompute after every allocation change (debug aid;
+        raises :class:`~repro.errors.SimulationError` on divergence).
     """
 
     def __init__(
@@ -246,12 +259,14 @@ class ClusterSimulator:
         weather_hourly_c: Optional[np.ndarray] = None,
         cooling: Optional[CoolingModel] = None,
         grid: Optional[IsoNeLikeGrid] = None,
+        parity_check: bool = False,
     ) -> None:
         self.cluster = cluster
         self.scheduler = scheduler
         self.config = config or SimulationConfig()
         self.cooling = cooling
         self.grid = grid
+        self.parity_check = bool(parity_check)
         n_hours_needed = int(np.ceil(self.config.horizon_h)) + 1
         if weather_hourly_c is not None:
             weather = np.asarray(weather_hourly_c, dtype=float)
@@ -265,6 +280,14 @@ class ClusterSimulator:
             if cooling is not None:
                 raise SimulationError("a cooling model requires a weather trace")
             self.weather_hourly_c = None
+        if self.cooling is not None:
+            # One vectorized pass over the whole weather trace; every later
+            # PUE lookup (context, tick series) indexes into this.
+            self._pue_hourly: Optional[np.ndarray] = self.cooling.pue_series(
+                self.weather_hourly_c
+            )
+        else:
+            self._pue_hourly = None
         if grid is not None:
             if grid.hours.shape[0] < n_hours_needed:
                 raise SimulationError(
@@ -287,40 +310,26 @@ class ClusterSimulator:
         self._pending: list[Job] = []
         self._running: dict[str, Job] = {}
         self._all_jobs: list[Job] = []
-        self._current_it_power_w = self._compute_it_power()
+        self._current_it_power_w = self.cluster.it_power_w()
 
     # ------------------------------------------------------------------
     # Power accounting
     # ------------------------------------------------------------------
-    def _compute_it_power(self) -> float:
-        """Vectorized recomputation of the cluster's instantaneous IT power."""
-        cluster = self.cluster
-        facility = cluster.facility
-        idle_gpu_w = cluster.gpu_spec.idle_power_w
-        power = 0.0
-        busy_utils: list[float] = []
-        busy_caps: list[float] = []
-        for node in cluster.nodes:
-            if node.state is NodeState.DRAINED:
-                continue
-            power += facility.node_idle_power_w
-            occupied = False
-            for gpu in node.gpus:
-                if gpu.is_free:
-                    power += idle_gpu_w
-                else:
-                    occupied = True
-                    busy_utils.append(gpu.utilization)
-                    busy_caps.append(
-                        gpu.power_limit_w if gpu.power_limit_w is not None else cluster.gpu_spec.tdp_w
-                    )
-            if occupied:
-                power += facility.node_active_overhead_w
-        if busy_utils:
-            utils = np.asarray(busy_utils)
-            caps = np.asarray(busy_caps)
-            power += float(np.sum(cluster.gpu_power_model.power_w(utils, caps)))
-        return power
+    def _refresh_it_power(self) -> None:
+        """Pull the cluster's delta-maintained IT power (O(1) read).
+
+        With ``parity_check`` enabled, the value is verified against the
+        vectorized full recompute from the state arrays.
+        """
+        power = self.cluster.it_power_w()
+        if self.parity_check:
+            expected = self.cluster.recompute_it_power_w()
+            if not np.isclose(power, expected, rtol=1e-9, atol=1e-6):
+                raise SimulationError(
+                    f"incremental IT power diverged from recompute: "
+                    f"{power!r} vs {expected!r}"
+                )
+        self._current_it_power_w = power
 
     # ------------------------------------------------------------------
     # Context
@@ -334,10 +343,9 @@ class ClusterSimulator:
         return float(self.weather_hourly_c[self._hour_index(now_h)])
 
     def _pue_at(self, now_h: float) -> float:
-        if self.cooling is None:
+        if self._pue_hourly is None:
             return 1.0
-        temperature = self._outdoor_temperature(now_h)
-        return float(np.asarray(self.cooling.pue(temperature)))
+        return float(self._pue_hourly[self._hour_index(now_h)])
 
     def _context(self, now_h: float) -> SchedulingContext:
         index = self._hour_index(now_h)
@@ -373,8 +381,8 @@ class ClusterSimulator:
         model = self.cluster.gpu_power_model
         cap_fraction = decision.power_cap_fraction
         if cap_fraction is not None:
-            cap_w = float(model.clamp_power_limit(cap_fraction * spec.tdp_w))
-            slowdown = float(model.slowdown_factor(cap_w, job.utilization))
+            cap_w = model.clamp_power_limit_scalar(cap_fraction * spec.tdp_w)
+            slowdown = model.slowdown_factor_scalar(cap_w, job.utilization)
         else:
             cap_w = None
             slowdown = 1.0
@@ -388,7 +396,6 @@ class ClusterSimulator:
         )
         job.mark_started(now_h, power_cap_w=cap_w, duration_h=actual_duration_h)
         self._running[job.job_id] = job
-        self._pending = [j for j in self._pending if j.job_id != job.job_id]
         self._events.push(now_h + actual_duration_h, EventType.JOB_FINISH, job.job_id)
 
     def _finish_job(self, job_id: str, now_h: float, *, completed: bool = True) -> None:
@@ -398,7 +405,7 @@ class ClusterSimulator:
         self.cluster.release(job.job_id)
         # Per-job attributed energy: its GPUs' power over the time it actually ran.
         model = self.cluster.gpu_power_model
-        gpu_power = float(model.power_w(job.utilization, job.assigned_power_cap_w))
+        gpu_power = model.power_w_scalar(job.utilization, job.assigned_power_cap_w)
         start_h = job.start_time_h if job.start_time_h is not None else now_h
         elapsed_h = max(now_h - start_h, 0.0)
         energy_j = job.n_gpus * gpu_power * elapsed_h * 3600.0
@@ -431,7 +438,6 @@ class ClusterSimulator:
 
         tick_times: list[float] = []
         it_power: list[float] = []
-        pue_series: list[float] = []
 
         while not self._events.is_empty():
             now_h = self._events.peek_time()
@@ -450,7 +456,7 @@ class ClusterSimulator:
                 elif event.event_type is EventType.TICK:
                     tick_here = True
             if allocations_changed:
-                self._current_it_power_w = self._compute_it_power()
+                self._refresh_it_power()
 
             # Scheduling round.
             if self._pending and self.cluster.n_free_gpus > 0:
@@ -466,22 +472,31 @@ class ClusterSimulator:
                     started_ids.add(decision.job.job_id)
                     self._start_job(decision, now_h)
                 if decisions:
-                    self._current_it_power_w = self._compute_it_power()
+                    # One pass over the queue per round (not per started job).
+                    self._pending = [j for j in self._pending if j.job_id not in started_ids]
+                    self._refresh_it_power()
 
             if tick_here:
                 tick_times.append(now_h)
                 it_power.append(self._current_it_power_w)
-                pue_series.append(self._pue_at(now_h))
 
         # Jobs still running at the horizon are accounted up to the horizon but
         # do not count as completed work.
         for job_id in list(self._running):
             self._finish_job(job_id, config.horizon_h, completed=False)
-        self._current_it_power_w = self._compute_it_power()
+        self._refresh_it_power()
 
         tick_times_arr = np.asarray(tick_times, dtype=float)
         it_power_arr = np.asarray(it_power, dtype=float)
-        pue_arr = np.asarray(pue_series, dtype=float)
+        # PUE over the whole tick series in one vectorized lookup (the hourly
+        # curve was precomputed at construction).
+        if self._pue_hourly is not None:
+            indices = np.minimum(
+                np.maximum(tick_times_arr, 0.0), config.horizon_h
+            ).astype(int)
+            pue_arr = np.asarray(self._pue_hourly[indices], dtype=float)
+        else:
+            pue_arr = np.ones_like(tick_times_arr)
         facility_power_arr = it_power_arr * pue_arr
 
         if self._carbon_hourly is not None:

@@ -11,13 +11,21 @@ and summary statistics over job records or power traces.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from ..errors import DataError
 
-__all__ = ["UtilizationTracker", "UtilizationSummary", "utilization_statistics"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .resources import Cluster
+
+__all__ = [
+    "UtilizationTracker",
+    "UtilizationSummary",
+    "utilization_statistics",
+    "cluster_utilization_statistics",
+]
 
 
 @dataclass(frozen=True)
@@ -103,3 +111,18 @@ def utilization_statistics(utilizations: Sequence[float] | np.ndarray) -> Utiliz
         fraction_below_30pct=float(np.mean(arr < 0.30)),
         fraction_above_80pct=float(np.mean(arr > 0.80)),
     )
+
+
+def cluster_utilization_statistics(cluster: "Cluster") -> UtilizationSummary:
+    """Distributional summary of the busy GPUs' utilizations, straight from state.
+
+    Reads the cluster's utilization array through
+    :meth:`~repro.cluster.resources.Cluster.busy_utilizations` — one
+    vectorized slice of the busy mask rather than a Python sweep over GPU
+    objects.  Raises :class:`~repro.errors.DataError` when no GPU is busy
+    (an idle cluster has no utilization distribution to summarise).
+    """
+    busy = cluster.busy_utilizations()
+    if busy.size == 0:
+        raise DataError("cluster_utilization_statistics requires at least one busy GPU")
+    return utilization_statistics(busy)

@@ -259,3 +259,14 @@ register_scenario(
         description="the facility after an A100 hardware refresh",
     )
 )
+register_scenario(
+    ScenarioSpec(
+        name="supercloud-large",
+        facility=FacilityConfig(name="supercloud-large", n_nodes=256, gpus_per_node=8),
+        workload=WorkloadSpec(gpu_model="A100"),
+        description=(
+            "a 256-node x 8-GPU A100 build-out of the facility "
+            "(the scale tier exercised by benchmarks/test_bench_simulator_scale.py)"
+        ),
+    )
+)

@@ -49,7 +49,7 @@ class EnergyAwareScheduler(Scheduler):
         """Rough per-job IT power estimate used for budget checks."""
         spec = cluster.gpu_spec
         cap_w = None if cap_fraction is None else cap_fraction * spec.tdp_w
-        gpu_power = float(cluster.gpu_power_model.power_w(job.utilization, cap_w))
+        gpu_power = cluster.gpu_power_model.power_w_scalar(job.utilization, cap_w)
         # Charge a share of node overhead proportional to the fraction of a node used.
         node_share = min(1.0, job.n_gpus / cluster.facility.gpus_per_node)
         return job.n_gpus * gpu_power + node_share * cluster.facility.node_active_overhead_w

@@ -23,7 +23,7 @@ of training speed while saving 15-25% of energy.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Union
+from typing import Mapping, Optional, Union
 
 import numpy as np
 
@@ -206,6 +206,44 @@ class GpuPowerModel:
             return uncapped
         limit = self.clamp_power_limit(power_limit_w)
         return np.minimum(uncapped, limit)
+
+    # ------------------------------------------------------------------
+    # Scalar fast paths
+    # ------------------------------------------------------------------
+    # The cluster simulator evaluates the power/throughput model once per job
+    # event (thousands of times per run) on plain floats; routing those calls
+    # through the array API costs an order of magnitude in ``np.asarray``
+    # round-trips.  These scalar twins perform the identical IEEE-754
+    # arithmetic (clip = min/max composition, same ``**`` exponentiation), so
+    # their results are bit-equal to the array versions on scalar inputs —
+    # asserted by the state-parity test suite.
+    def clamp_power_limit_scalar(self, power_limit_w: float) -> float:
+        """Scalar twin of :meth:`clamp_power_limit`."""
+        return min(max(float(power_limit_w), self.spec.min_power_limit_w), self.spec.tdp_w)
+
+    def uncapped_power_w_scalar(self, utilization: float) -> float:
+        """Scalar twin of :meth:`uncapped_power_w`."""
+        util = min(max(float(utilization), 0.0), 1.0)
+        dynamic_range = self.spec.tdp_w - self.spec.idle_power_w
+        return self.spec.idle_power_w + dynamic_range * util**self.utilization_exponent
+
+    def power_w_scalar(self, utilization: float, power_limit_w: Optional[float] = None) -> float:
+        """Scalar twin of :meth:`power_w`."""
+        uncapped = self.uncapped_power_w_scalar(utilization)
+        if power_limit_w is None:
+            return uncapped
+        return min(uncapped, self.clamp_power_limit_scalar(power_limit_w))
+
+    def relative_throughput_scalar(self, power_limit_w: float, utilization: float = 1.0) -> float:
+        """Scalar twin of :meth:`relative_throughput`."""
+        limit = self.clamp_power_limit_scalar(power_limit_w)
+        demanded = self.uncapped_power_w_scalar(utilization)
+        ratio = min(max(limit / max(demanded, 1e-9), 0.0), 1.0)
+        return ratio**self.cap_slowdown_exponent
+
+    def slowdown_factor_scalar(self, power_limit_w: float, utilization: float = 1.0) -> float:
+        """Scalar twin of :meth:`slowdown_factor`."""
+        return 1.0 / self.relative_throughput_scalar(power_limit_w, utilization)
 
     # ------------------------------------------------------------------
     # Performance under power caps

@@ -128,3 +128,21 @@ class TestPower:
         idle = cluster.it_power_w()
         cluster.drain_nodes(2)
         assert cluster.it_power_w() == pytest.approx(idle / 2)
+
+    def test_incremental_power_matches_recompute(self, cluster):
+        """The delta-maintained O(1) power tracks the vectorized recompute."""
+        cluster.allocate("a", 3, utilization=0.7, power_limit_w=180.0)
+        cluster.allocate("b", 2, utilization=1.0)
+        cluster.set_power_limit("b", 140.0)
+        cluster.drain_nodes(1)
+        assert cluster.it_power_w() == pytest.approx(cluster.recompute_it_power_w(), rel=1e-12)
+        cluster.release("a")
+        cluster.undrain_all()
+        assert cluster.it_power_w() == pytest.approx(cluster.recompute_it_power_w(), rel=1e-12)
+
+    def test_set_power_limit_updates_cached_power(self, cluster):
+        cluster.allocate("a", 4, utilization=1.0, power_limit_w=150.0)
+        capped = cluster.it_power_w()
+        cluster.set_power_limit("a", None)
+        assert cluster.it_power_w() > capped
+        assert cluster.it_power_w() == pytest.approx(cluster.recompute_it_power_w(), rel=1e-12)

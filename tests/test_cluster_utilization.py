@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.cluster.utilization import UtilizationTracker, utilization_statistics
+from repro.cluster.resources import Cluster
+from repro.cluster.utilization import (
+    UtilizationTracker,
+    cluster_utilization_statistics,
+    utilization_statistics,
+)
+from repro.config import FacilityConfig
 from repro.errors import DataError
 
 
@@ -73,3 +79,18 @@ class TestUtilizationStatistics:
             utilization_statistics([])
         with pytest.raises(DataError):
             utilization_statistics([1.5])
+
+
+class TestClusterUtilizationStatistics:
+    def test_reads_busy_gpus_from_state(self):
+        cluster = Cluster(FacilityConfig(n_nodes=2, gpus_per_node=4))
+        cluster.allocate("a", 2, utilization=0.2)
+        cluster.allocate("b", 2, utilization=0.9)
+        stats = cluster_utilization_statistics(cluster)
+        assert stats.mean == pytest.approx(0.55)
+        assert stats.fraction_below_30pct == pytest.approx(0.5)
+
+    def test_idle_cluster_rejected(self):
+        cluster = Cluster(FacilityConfig(n_nodes=1, gpus_per_node=2))
+        with pytest.raises(DataError):
+            cluster_utilization_statistics(cluster)
