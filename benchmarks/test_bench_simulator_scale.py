@@ -318,3 +318,84 @@ def test_bench_incremental_vs_scan_speedup(worlds):
         fast_result.it_power_w, legacy_result.it_power_w, rtol=1e-9
     )
     assert speedup >= 5.0, f"expected >= 5x over the scan-based core, got {speedup:.2f}x"
+
+
+# ---------------------------------------------------------------------------
+# Composed policy pipelines: no regression vs. the monolithic schedulers
+# ---------------------------------------------------------------------------
+
+
+def _run_with(scheduler, facility, gpu_model, weather, grid, jobs, horizon_h):
+    simulator = ClusterSimulator(
+        Cluster(facility, gpu_model=gpu_model),
+        scheduler,
+        SimulationConfig(horizon_h=horizon_h),
+        weather_hourly_c=weather,
+        cooling=CoolingModel(),
+        grid=grid,
+    )
+    return simulator.run([job.clone_pending() for job in jobs])
+
+
+def test_bench_pipeline_no_regression_vs_monolithic(worlds):
+    """Staged pipelines keep the medium-tier gate: same records, same speed class.
+
+    The canned ``backfill`` pipeline must produce bit-identical job records to
+    the monolithic :class:`BackfillScheduler` and, like it, beat the embedded
+    scan-based seed core by >= 5x; a parameterized composed pipeline
+    (``backfill+carbon(cap=0.7)``) must clear the same speed gate, so the
+    per-job stage dispatch cannot erode the simulator-core win.
+    """
+    from repro.core.levers import make_scheduler
+
+    facility, gpu_model, weather, grid, jobs, horizon_h = worlds["medium"]
+    args = (facility, gpu_model, weather, grid, jobs, horizon_h)
+
+    t0 = time.perf_counter()
+    legacy_result = _run(LegacyScanCluster(facility, gpu_model), weather, grid, jobs, horizon_h)
+    legacy_s = time.perf_counter() - t0
+
+    def best_of_three(scheduler_factory):
+        walls, result = [], None
+        for _ in range(3):
+            t0 = time.perf_counter()
+            result = _run_with(scheduler_factory(), *args)
+            walls.append(time.perf_counter() - t0)
+        return min(walls), result
+
+    monolithic_s, monolithic_result = best_of_three(BackfillScheduler)
+    pipeline_s, pipeline_result = best_of_three(lambda: make_scheduler("backfill"))
+    composed_s, composed_result = best_of_three(
+        lambda: make_scheduler("backfill+carbon(cap=0.7)")
+    )
+
+    print_header("Composed policy pipelines vs. monolithic schedulers (medium tier)")
+    print_rows(
+        [
+            {"policy": "scan-based seed core", "wall_s": legacy_s, "speedup": 1.0},
+            {
+                "policy": "monolithic backfill",
+                "wall_s": monolithic_s,
+                "speedup": legacy_s / monolithic_s,
+            },
+            {
+                "policy": "pipeline backfill",
+                "wall_s": pipeline_s,
+                "speedup": legacy_s / pipeline_s,
+            },
+            {
+                "policy": "pipeline backfill+carbon(cap=0.7)",
+                "wall_s": composed_s,
+                "speedup": legacy_s / composed_s,
+            },
+        ]
+    )
+
+    assert _records_key(pipeline_result) == _records_key(monolithic_result)
+    assert composed_result.completed_jobs > 0.9 * len(jobs)
+    assert legacy_s / pipeline_s >= 5.0, (
+        f"pipeline backfill must keep the >=5x gate, got {legacy_s / pipeline_s:.2f}x"
+    )
+    assert legacy_s / composed_s >= 5.0, (
+        f"composed pipeline must keep the >=5x gate, got {legacy_s / composed_s:.2f}x"
+    )

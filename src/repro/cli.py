@@ -14,10 +14,16 @@ reproducing the paper) can run each analysis without writing Python::
 
 ``greenhpc sweep`` fans any registered experiments out over a declarative
 grid of scenario fields and experiment parameters (a campaign), optionally
-across worker processes::
+across worker processes.  Grid values split on top-level commas only, so
+policy pipeline specs with parameters sweep directly::
 
     greenhpc sweep --experiments table1,powercap \\
         --grid seed=0,1 --grid n_months=3,4 --workers 2 --json
+    greenhpc sweep --experiments schedule \\
+        --grid "policy=backfill,backfill+carbon(cap=0.7)+budget"
+
+``greenhpc policies`` prints the policy registry and the stage grammar the
+``schedule``/``optimize`` experiments accept, generated from the registries.
 
 Shared flags are handled once for every subcommand: ``--seed``, ``--months``
 and ``--site`` override the chosen ``--scenario``'s spec, ``--workers`` (or
@@ -37,7 +43,9 @@ import os
 import sys
 from typing import Iterable, Mapping, Sequence
 
-from .errors import ConfigurationError, GreenHPCError
+from .core.levers import registered_policies
+from .errors import ConfigurationError, GreenHPCError, SchedulingError
+from .scheduler.compose import REQUIRED, list_stage_definitions, split_top_level
 from .experiments import (
     CampaignSpec,
     ExperimentResult,
@@ -207,15 +215,75 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the campaign rows as CSV instead of a text table",
     )
+    policies = subparsers.add_parser(
+        "policies",
+        help="list registered scheduling policies and pipeline stages (the spec grammar)",
+    )
+    _add_shared_arguments(policies, in_subcommand=True)
     return parser
 
 
 def _split_names(raw: str, what: str) -> tuple[str, ...]:
-    """Parse a non-empty comma-separated name list."""
-    names = tuple(name for name in (part.strip() for part in raw.split(",")) if name)
+    """Parse a non-empty comma-separated name list.
+
+    Splits on *top-level* commas only, so parameterized policy specs like
+    ``backfill+carbon(cap=0.7)`` survive as single values in sweep grids.
+    """
+    try:
+        parts = split_top_level(raw)
+    except SchedulingError as exc:
+        raise ConfigurationError(f"could not parse {what}: {exc}") from None
+    names = tuple(name for name in (part.strip() for part in parts) if name)
     if not names:
         raise ConfigurationError(f"{what} must be a non-empty comma-separated list, got {raw!r}")
     return names
+
+
+def _stage_param_summary(param) -> str:
+    """Render one stage parameter as ``name=default`` (or ``name=<required>``)."""
+    if param.default is REQUIRED:
+        return f"{param.name}=<required>"
+    if isinstance(param.default, bool):
+        return f"{param.name}={'true' if param.default else 'false'}"
+    return f"{param.name}={param.default!r}"
+
+
+def _run_policies(args: argparse.Namespace) -> int:
+    """The ``greenhpc policies`` subcommand: the registry-generated catalogue."""
+    policy_rows = [
+        {
+            "policy": definition.name,
+            "pipeline": definition.spec,
+            "cap_lever": definition.cap_mode,
+            "description": definition.help,
+        }
+        for definition in registered_policies()
+    ]
+    stage_rows = [
+        {
+            "stage": definition.name,
+            "kind": definition.kind,
+            "parameters": ", ".join(_stage_param_summary(p) for p in definition.params) or "-",
+            "description": definition.help,
+        }
+        for definition in list_stage_definitions()
+    ]
+    if args.json:
+        import json
+
+        print(json.dumps({"policies": policy_rows, "stages": stage_rows}, indent=2))
+        return 0
+    print("Registered policies (usable anywhere a policy is addressed):")
+    _print_rows(policy_rows)
+    print()
+    print("Pipeline stages (compose with '+', parameterize with 'name(key=value,...)'):")
+    _print_rows(stage_rows)
+    print()
+    print(
+        "Any composition is a valid policy, e.g. "
+        "'backfill+carbon(cap=0.7)+budget' or 'edf+backfill+slack(margin=2.0)'."
+    )
+    return 0
 
 
 def _parse_grid_arguments(
@@ -310,6 +378,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        if args.command == "policies":
+            return _run_policies(args)
         spec = get_scenario(args.scenario)
         overrides: dict[str, object] = {}
         if args.seed is not None:

@@ -1,0 +1,70 @@
+"""Lifecycle hooks for the cluster simulator.
+
+A :class:`SimulatorObserver` receives callbacks from
+:class:`~repro.cluster.simulator.ClusterSimulator` at well-defined points of
+the event loop, so adaptive controllers, telemetry sinks and experiment
+instrumentation can react to the run *without* being special-cased inside the
+loop itself:
+
+* ``on_job_start`` / ``on_job_finish`` — a job transitioned state (finish
+  fires for both completion and horizon interruption);
+* ``on_round`` — a scheduling round just executed (the policy was consulted);
+* ``on_tick`` — the recording tick fired, *after* the power sample for the
+  tick was taken, so control actions an observer applies here show up from
+  the next tick on (measure, then actuate).
+
+Observers are attached either explicitly (``ClusterSimulator(...,
+observers=[...])`` / ``add_observer``) or implicitly by the scheduling policy:
+the simulator asks its scheduler for :meth:`~repro.scheduler.base.Scheduler.
+observers` at construction, which is how pipeline stages that carry run-time
+state (e.g. the adaptive power-cap stage) get wired into the loop they need.
+
+Every hook receives the simulator itself, giving observers access to the
+cluster, the running set and the delta-maintained IT power through public
+accessors.  An observer that changes allocation power caps must call
+:meth:`~repro.cluster.simulator.ClusterSimulator.refresh_it_power` so the
+cached total reflects the change.
+
+This module is deliberately import-light (no scheduler imports) so both the
+simulator and the scheduler packages can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..scheduler.base import ScheduleDecision, SchedulingContext
+    from ..scheduler.job import Job
+    from .simulator import ClusterSimulator
+
+__all__ = ["SimulatorObserver"]
+
+
+class SimulatorObserver:
+    """Base class for simulator lifecycle hooks; every method is a no-op.
+
+    Subclass and override only the hooks you need.  Hooks must not submit or
+    start jobs (that is the scheduler's contract) but may adjust power caps of
+    running allocations, sample state, or record series.
+    """
+
+    def on_job_start(self, simulator: "ClusterSimulator", job: "Job", now_h: float) -> None:
+        """A job just transitioned to RUNNING and holds its allocation."""
+
+    def on_job_finish(
+        self, simulator: "ClusterSimulator", job: "Job", now_h: float, *, completed: bool
+    ) -> None:
+        """A job just left the cluster (``completed=False`` = horizon cut-off)."""
+
+    def on_round(
+        self,
+        simulator: "ClusterSimulator",
+        now_h: float,
+        context: "SchedulingContext",
+        decisions: "list[ScheduleDecision]",
+    ) -> None:
+        """A scheduling round just ran; ``decisions`` lists the started jobs."""
+
+    def on_tick(self, simulator: "ClusterSimulator", now_h: float, it_power_w: float) -> None:
+        """The recording tick fired; ``it_power_w`` is the sample just taken."""

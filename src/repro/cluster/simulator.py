@@ -27,6 +27,13 @@ Design notes
   and the start of the next job can occur at the same simulated instant.
   Started jobs are removed from the pending queue once per round (by id),
   not by rebuilding the queue per started job.
+* Lifecycle hooks: :class:`~repro.cluster.observers.SimulatorObserver`\\ s
+  receive ``on_job_start`` / ``on_job_finish`` / ``on_round`` / ``on_tick``
+  callbacks, so adaptive controllers and telemetry live outside the loop.
+  Observers are attached explicitly (``observers=`` / :meth:`ClusterSimulator.
+  add_observer`) or implicitly by the scheduling policy via
+  :meth:`~repro.scheduler.base.Scheduler.observers`.  With no observers the
+  hook sites are a single falsy check — the hot path is unchanged.
 """
 
 from __future__ import annotations
@@ -43,9 +50,16 @@ from ..scheduler.base import ScheduleDecision, Scheduler, SchedulingContext
 from ..scheduler.job import Job, JobState
 from .cooling import CoolingModel
 from .events import EventQueue, EventType
+from .observers import SimulatorObserver
 from .resources import Cluster
 
-__all__ = ["SimulationConfig", "JobRecord", "SimulationResult", "ClusterSimulator"]
+__all__ = [
+    "SimulationConfig",
+    "JobRecord",
+    "SimulationResult",
+    "ClusterSimulator",
+    "SimulatorObserver",
+]
 
 
 @dataclass(frozen=True)
@@ -248,6 +262,10 @@ class ClusterSimulator:
         When true, cross-check the delta-maintained IT power against the
         vectorized full recompute after every allocation change (debug aid;
         raises :class:`~repro.errors.SimulationError` on divergence).
+    observers:
+        Lifecycle observers to attach; the scheduler's own
+        :meth:`~repro.scheduler.base.Scheduler.observers` are appended
+        automatically (pipeline stages such as adaptive power caps use this).
     """
 
     def __init__(
@@ -260,6 +278,7 @@ class ClusterSimulator:
         cooling: Optional[CoolingModel] = None,
         grid: Optional[IsoNeLikeGrid] = None,
         parity_check: bool = False,
+        observers: Optional[Sequence[SimulatorObserver]] = None,
     ) -> None:
         self.cluster = cluster
         self.scheduler = scheduler
@@ -267,6 +286,8 @@ class ClusterSimulator:
         self.cooling = cooling
         self.grid = grid
         self.parity_check = bool(parity_check)
+        self._observers: list[SimulatorObserver] = list(observers or ())
+        self._observers.extend(scheduler.observers())
         n_hours_needed = int(np.ceil(self.config.horizon_h)) + 1
         if weather_hourly_c is not None:
             weather = np.asarray(weather_hourly_c, dtype=float)
@@ -313,13 +334,38 @@ class ClusterSimulator:
         self._current_it_power_w = self.cluster.it_power_w()
 
     # ------------------------------------------------------------------
+    # Observers
+    # ------------------------------------------------------------------
+    def add_observer(self, observer: SimulatorObserver) -> SimulatorObserver:
+        """Attach a lifecycle observer (returned for chaining)."""
+        self._observers.append(observer)
+        return observer
+
+    @property
+    def observers(self) -> tuple[SimulatorObserver, ...]:
+        """The attached lifecycle observers, in call order."""
+        return tuple(self._observers)
+
+    @property
+    def running_jobs(self) -> list[Job]:
+        """The jobs currently holding allocations (start order)."""
+        return list(self._running.values())
+
+    @property
+    def current_it_power_w(self) -> float:
+        """The delta-maintained IT power as of the last refresh."""
+        return self._current_it_power_w
+
+    # ------------------------------------------------------------------
     # Power accounting
     # ------------------------------------------------------------------
-    def _refresh_it_power(self) -> None:
+    def refresh_it_power(self) -> None:
         """Pull the cluster's delta-maintained IT power (O(1) read).
 
-        With ``parity_check`` enabled, the value is verified against the
-        vectorized full recompute from the state arrays.
+        Observers that change allocation power caps must call this so the
+        cached total reflects the change.  With ``parity_check`` enabled, the
+        value is verified against the vectorized full recompute from the
+        state arrays.
         """
         power = self.cluster.it_power_w()
         if self.parity_check:
@@ -330,6 +376,9 @@ class ClusterSimulator:
                     f"{power!r} vs {expected!r}"
                 )
         self._current_it_power_w = power
+
+    # Backwards-compatible private alias (pre-hook name).
+    _refresh_it_power = refresh_it_power
 
     # ------------------------------------------------------------------
     # Context
@@ -397,6 +446,9 @@ class ClusterSimulator:
         job.mark_started(now_h, power_cap_w=cap_w, duration_h=actual_duration_h)
         self._running[job.job_id] = job
         self._events.push(now_h + actual_duration_h, EventType.JOB_FINISH, job.job_id)
+        if self._observers:
+            for observer in self._observers:
+                observer.on_job_start(self, job, now_h)
 
     def _finish_job(self, job_id: str, now_h: float, *, completed: bool = True) -> None:
         job = self._running.pop(job_id, None)
@@ -413,6 +465,9 @@ class ClusterSimulator:
             job.mark_completed(now_h, energy_j)
         else:
             job.mark_interrupted(now_h, energy_j)
+        if self._observers:
+            for observer in self._observers:
+                observer.on_job_finish(self, job, now_h, completed=completed)
 
     # ------------------------------------------------------------------
     # Main loop
@@ -475,10 +530,18 @@ class ClusterSimulator:
                     # One pass over the queue per round (not per started job).
                     self._pending = [j for j in self._pending if j.job_id not in started_ids]
                     self._refresh_it_power()
+                if self._observers:
+                    for observer in self._observers:
+                        observer.on_round(self, now_h, context, decisions)
 
             if tick_here:
                 tick_times.append(now_h)
                 it_power.append(self._current_it_power_w)
+                if self._observers:
+                    # Measure, then actuate: control actions taken here show
+                    # up from the next tick on.
+                    for observer in self._observers:
+                        observer.on_tick(self, now_h, self._current_it_power_w)
 
         # Jobs still running at the horizon are accounted up to the horizon but
         # do not count as completed work.

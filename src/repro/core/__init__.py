@@ -5,6 +5,13 @@
   constraint ``A(·) ≥ α``.
 * :mod:`~repro.core.levers` — the decision levers ``q_s`` (supply), ``p``
   (scheduling policy) and ``c`` (power caps) as an enumerable operating point.
+  The policy lever is an *open registry*: :func:`~repro.core.levers.
+  register_policy` names canned stage compositions (the five legacy policy
+  names are pre-registered with bit-identical job records), and any pipeline
+  spec string in the :mod:`~repro.scheduler.compose` grammar — ordering +
+  gates + placement + power chain, e.g. ``"backfill+carbon(cap=0.7)+budget"``
+  — is a valid ``p`` everywhere a policy is addressed (operating points, the
+  optimizer, experiments, campaign grids, the CLI).
 * :mod:`~repro.core.optimizer` — the datacenter-level optimizer that searches
   operating points on the cluster simulator subject to the activity floor.
 * :mod:`~repro.core.user_level` — the Eq. 2 per-user decomposition of energy
@@ -23,7 +30,16 @@
 """
 
 from .objective import ObjectiveKind, EnergyObjective, ActivityConstraint, ObjectiveEvaluation
-from .levers import OperatingPoint, SCHEDULER_REGISTRY, make_scheduler, default_operating_grid
+from .levers import (
+    OperatingPoint,
+    PolicyDefinition,
+    SCHEDULER_REGISTRY,
+    default_operating_grid,
+    make_scheduler,
+    register_policy,
+    registered_policies,
+    resolve_policy,
+)
 from .optimizer import DatacenterOptimizer, OptimizationOutcome
 from .user_level import UserProfile, UserLevelAccounting, per_user_decomposition
 from .mechanism import MechanismOption, TwoPartMechanism, UserPreference, MechanismOutcome
@@ -45,7 +61,11 @@ __all__ = [
     "ActivityConstraint",
     "ObjectiveEvaluation",
     "OperatingPoint",
+    "PolicyDefinition",
     "SCHEDULER_REGISTRY",
+    "register_policy",
+    "registered_policies",
+    "resolve_policy",
     "make_scheduler",
     "default_operating_grid",
     "DatacenterOptimizer",

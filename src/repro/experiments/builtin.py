@@ -15,10 +15,11 @@ from ..analysis.figures import (
     fig5_energy_vs_deadlines,
 )
 from ..analysis.tables import table1_conferences
-from ..core.levers import SCHEDULER_REGISTRY, default_operating_grid
+from ..core.levers import SCHEDULER_REGISTRY, default_operating_grid, resolve_policy
 from ..core.policies import LoadShiftingPolicy, evaluate_deadline_restructuring, evaluate_load_shifting
 from ..core.stress import StressTestHarness
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, OptimizationError, SchedulingError
+from ..scheduler.compose import split_top_level
 from ..scheduler.powercap import powercap_energy_tradeoff
 from .registry import ExperimentParam, experiment
 from .result import ExperimentResult
@@ -31,8 +32,35 @@ __all__ = [
     "run_shifting",
     "run_deadlines",
     "run_stress",
+    "run_schedule",
     "run_optimize",
 ]
+
+
+def _resolve_policy_list(policies: str) -> tuple[str, ...]:
+    """Parse and validate a comma-separated list of policy names/specs.
+
+    Commas inside stage parentheses do not split
+    (``backfill,backfill+carbon(cap=0.7)`` is two policies), and every entry
+    must resolve against the policy registry or the pipeline grammar.
+    """
+    try:
+        names = tuple(
+            name for name in (part.strip() for part in split_top_level(policies)) if name
+        )
+        if not names:
+            raise OptimizationError("no policies given")
+        for name in names:
+            resolve_policy(name)
+    except (OptimizationError, SchedulingError) as exc:
+        message = f"invalid policies {policies!r}: {exc}"
+        if "greenhpc policies" not in message:
+            message += (
+                f"; registered: {sorted(SCHEDULER_REGISTRY)} (run `greenhpc "
+                "policies` for the policy and stage catalogue)"
+            )
+        raise ConfigurationError(message) from None
+    return names
 
 #: Minimum horizon for the Fig. 5 (two partial years) analysis.
 FIG5_MIN_MONTHS = 16
@@ -215,6 +243,60 @@ def run_stress(session: ExperimentSession) -> ExperimentResult:
 
 
 @experiment(
+    "schedule",
+    help="one (composed) scheduling policy end-to-end on a job-level trace",
+    params=(
+        ExperimentParam(
+            "policy",
+            str,
+            "backfill",
+            help=(
+                "registered policy name or pipeline spec string, e.g. "
+                "'backfill+carbon(cap=0.7)+budget' (see `greenhpc policies`)"
+            ),
+        ),
+        ExperimentParam("jobs", int, 300, help="number of jobs in the generated trace"),
+        ExperimentParam("horizon_days", float, 7.0, help="trace horizon in days"),
+    ),
+)
+def run_schedule(
+    session: ExperimentSession, policy: str, jobs: int, horizon_days: float
+) -> ExperimentResult:
+    """One simulator run of any policy composition, with the headline metrics.
+
+    This is the sweep surface for the composable-policy space: a campaign
+    grid over ``policy`` (``--grid "policy=backfill,backfill+carbon(cap=0.7)"``)
+    compares arbitrary pipeline spellings on identical seeded worlds.
+    """
+    names = _resolve_policy_list(policy)
+    if len(names) != 1:
+        raise ConfigurationError(
+            f"schedule takes exactly one policy, got {len(names)}: {list(names)}"
+        )
+    (policy,) = names
+    result = session.simulate_policy(
+        policy, n_jobs=jobs, horizon_h=horizon_days * 24.0
+    )
+    summary = result.summary()
+    scalars = dict(summary)
+    scalars["deadline_miss_rate"] = result.deadline_miss_rate
+    notes = [
+        f"policy: {result.scheduler_name}",
+        f"facility energy: {result.facility_energy_kwh:.1f} kWh, "
+        f"emissions: {result.total_emissions_kg:.1f} kg, "
+        f"mean wait: {result.mean_wait_h:.2f} h",
+    ]
+    return ExperimentResult(
+        name="schedule",
+        spec=session.spec,
+        rows=(summary,),
+        scalars=scalars,
+        params={"policy": policy, "jobs": jobs, "horizon_days": horizon_days},
+        notes=tuple(notes),
+    )
+
+
+@experiment(
     "optimize",
     help="the Eq. 1 operating-point search on a job-level trace",
     params=(
@@ -228,8 +310,9 @@ def run_stress(session: ExperimentSession) -> ExperimentResult:
             str,
             "backfill,energy-aware,carbon-aware",
             help=(
-                "comma-separated scheduling policies to search over "
-                f"(registered: {', '.join(SCHEDULER_REGISTRY)})"
+                "comma-separated policy names or pipeline spec strings to search "
+                f"over (registered: {', '.join(SCHEDULER_REGISTRY)}; "
+                "`greenhpc policies` lists the stage grammar)"
             ),
         ),
     ),
@@ -238,13 +321,7 @@ def run_optimize(
     session: ExperimentSession, jobs: int, horizon_days: float, floor: float, policies: str
 ) -> ExperimentResult:
     """Eq. 1: exhaustive search over supply/policy/power-cap operating points."""
-    policy_names = tuple(name.strip() for name in policies.split(",") if name.strip())
-    unknown = [name for name in policy_names if name not in SCHEDULER_REGISTRY]
-    if unknown or not policy_names:
-        raise ConfigurationError(
-            f"unknown scheduling policy(ies) {unknown}; "
-            f"registered: {sorted(SCHEDULER_REGISTRY)}"
-        )
+    policy_names = _resolve_policy_list(policies)
     outcome = session.optimize_operations(
         n_jobs=jobs,
         horizon_h=horizon_days * 24.0,

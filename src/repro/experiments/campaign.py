@@ -27,6 +27,12 @@ aggregation and ``to_json``/``to_csv`` export.
 ... )
 >>> result = run_campaign(campaign)            # doctest: +SKIP
 >>> result.summarize("experiment")             # doctest: +SKIP
+
+Because experiment parameters are ordinary grid dimensions, the composable
+policy space sweeps directly: a ``param_grid`` over the ``schedule``
+experiment's ``policy`` parameter enumerates pipeline spec strings
+(``{"policy": ["backfill", "backfill+carbon(cap=0.7)+budget", ...]}``) —
+see ``examples/policy_composition.py``.
 """
 
 from __future__ import annotations

@@ -20,8 +20,9 @@ import numpy as np
 
 from ..analysis.figures import SuperCloudScenario
 from ..cluster.cooling import CoolingModel
-from ..cluster.simulator import SimulationConfig
-from ..core.levers import OperatingPoint
+from ..cluster.resources import Cluster
+from ..cluster.simulator import ClusterSimulator, SimulationConfig, SimulationResult
+from ..core.levers import OperatingPoint, make_scheduler
 from ..core.objective import ActivityConstraint, ActivityKind, EnergyObjective, ObjectiveKind
 from ..core.optimizer import DatacenterOptimizer, OptimizationOutcome
 from ..grid.iso_ne import IsoNeLikeGrid
@@ -141,6 +142,42 @@ class ExperimentSession:
             trace = generator.generate_jobs(n_jobs=n_jobs, horizon_h=horizon_h)
             self._job_traces[key] = trace
         return trace
+
+    # ------------------------------------------------------------------
+    # Single-policy simulation on a job trace
+    # ------------------------------------------------------------------
+    def simulate_policy(
+        self,
+        policy: str,
+        *,
+        n_jobs: int = 300,
+        horizon_h: float = 7 * 24.0,
+        power_cap_fraction: Optional[float] = None,
+        facility_power_budget_w: Optional[float] = None,
+    ) -> SimulationResult:
+        """Run one scheduling policy end-to-end over this session's substrates.
+
+        ``policy`` is a registered policy name or a pipeline spec string in
+        the :mod:`~repro.scheduler.compose` grammar (e.g.
+        ``"backfill+carbon(cap=0.7)+budget"``), which is what lets campaign
+        grids sweep composed pipelines directly.  The cached job trace,
+        weather, cooling and grid substrates are shared with every other
+        experiment of the session.
+        """
+        scenario = self.scenario()
+        spec = self._spec
+        simulator = ClusterSimulator(
+            Cluster(spec.facility, gpu_model=spec.workload.gpu_model),
+            make_scheduler(policy, power_cap_fraction),
+            SimulationConfig(
+                horizon_h=horizon_h, facility_power_budget_w=facility_power_budget_w
+            ),
+            weather_hourly_c=scenario.weather_hourly_c,
+            cooling=CoolingModel(),
+            grid=scenario.grid,
+        )
+        trace = self.job_trace(n_jobs=n_jobs, horizon_h=horizon_h)
+        return simulator.run([job.clone_pending() for job in trace])
 
     # ------------------------------------------------------------------
     # Eq. 1 — operations optimization on a job trace

@@ -261,6 +261,26 @@ register_scenario(
 )
 register_scenario(
     ScenarioSpec(
+        name="supercloud-small",
+        facility=FacilityConfig(name="supercloud-small", n_nodes=16, gpus_per_node=4),
+        description=(
+            "a 16-node x 4-GPU slice of the facility (the small benchmark tier; "
+            "also the seeded world of the policy-composition parity tests)"
+        ),
+    )
+)
+register_scenario(
+    ScenarioSpec(
+        name="supercloud-medium",
+        facility=FacilityConfig(name="supercloud-medium", n_nodes=64, gpus_per_node=4),
+        description=(
+            "a 64-node x 4-GPU build of the facility (the medium benchmark tier; "
+            "also the seeded world of the policy-composition parity tests)"
+        ),
+    )
+)
+register_scenario(
+    ScenarioSpec(
         name="supercloud-large",
         facility=FacilityConfig(name="supercloud-large", n_nodes=256, gpus_per_node=8),
         workload=WorkloadSpec(gpu_model="A100"),

@@ -6,6 +6,9 @@ start.  Reservation bookkeeping (guaranteeing the head job a future start
 time) is deliberately omitted — at the granularity of this simulator it does
 not change the energy picture, which is what the paper's comparisons are
 about.
+
+Kept as the parity reference for the registered ``backfill`` pipeline
+composition (spec ``"backfill"``).
 """
 
 from __future__ import annotations

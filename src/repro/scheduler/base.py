@@ -102,6 +102,16 @@ class Scheduler(ABC):
     #: Human-readable policy name used in benchmark tables.
     name: str = "abstract"
 
+    def observers(self) -> tuple:
+        """Simulator lifecycle observers this policy wants attached.
+
+        The cluster simulator subscribes these automatically at construction,
+        which is how stateful pipeline stages (e.g. adaptive power caps) hook
+        into the event loop without being special-cased there.  Monolithic
+        policies have none.
+        """
+        return ()
+
     @abstractmethod
     def select(
         self, pending: list[Job], cluster: Cluster, context: SchedulingContext

@@ -8,6 +8,11 @@ horizon median supplied in the scheduling context), releasing them when the
 grid turns green or when their deferral window expires, so no job waits
 unboundedly — the activity constraint of Eq. 1 is respected through the
 ``max_defer_h`` contract rather than ignored.
+
+Kept as the parity reference for the registered ``carbon-aware`` pipeline
+composition (spec ``"backfill+carbon(cap=0.7)"``); the deferral predicate
+lives on in :class:`~repro.scheduler.stages.GreenHourGate` and the dirty-hour
+cap in :class:`~repro.scheduler.stages.DirtyHourCapStage`.
 """
 
 from __future__ import annotations

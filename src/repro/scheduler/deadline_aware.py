@@ -6,6 +6,11 @@ information explicit: jobs carrying deadlines are ordered earliest-deadline-
 first, jobs without deadlines fill in behind them, and deferrable jobs may
 additionally be pushed into green hours as long as their deadline slack
 allows it (combining Sections II.A and III).
+
+Kept as the parity reference for the registered ``deadline-aware`` pipeline
+composition (spec ``"edf+backfill+slack(margin=2.0)"``); the EDF key lives on
+in :class:`~repro.scheduler.stages.DeadlineOrdering` and the slack predicate
+in :class:`~repro.scheduler.stages.DeadlineSlackGate`.
 """
 
 from __future__ import annotations

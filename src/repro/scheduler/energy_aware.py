@@ -5,6 +5,10 @@ effective (Section II): GPU power caps and node packing, plus an optional
 facility power budget under which the scheduler simply refuses to start more
 work (the activity constraint α decides how far that can be pushed — the
 Eq. 1 optimizer explores exactly that trade-off).
+
+Kept as the parity reference for the registered ``energy-aware`` pipeline
+composition (spec ``"backfill+budget"`` plus a static ``cap`` stage); the
+budget estimator lives on in :class:`~repro.scheduler.stages.PowerBudgetGate`.
 """
 
 from __future__ import annotations
@@ -16,6 +20,7 @@ from ..errors import SchedulingError
 from .base import ScheduleDecision, Scheduler, SchedulingContext
 from .job import Job
 from .powercap import StaticPowerCapPolicy
+from .stages import estimate_job_it_power_w
 
 __all__ = ["EnergyAwareScheduler"]
 
@@ -46,13 +51,8 @@ class EnergyAwareScheduler(Scheduler):
         self.respect_power_budget = bool(respect_power_budget)
 
     def _estimated_job_power_w(self, job: Job, cluster: Cluster, cap_fraction: Optional[float]) -> float:
-        """Rough per-job IT power estimate used for budget checks."""
-        spec = cluster.gpu_spec
-        cap_w = None if cap_fraction is None else cap_fraction * spec.tdp_w
-        gpu_power = cluster.gpu_power_model.power_w_scalar(job.utilization, cap_w)
-        # Charge a share of node overhead proportional to the fraction of a node used.
-        node_share = min(1.0, job.n_gpus / cluster.facility.gpus_per_node)
-        return job.n_gpus * gpu_power + node_share * cluster.facility.node_active_overhead_w
+        """Rough per-job IT power estimate (the shared budget-gate estimator)."""
+        return estimate_job_it_power_w(job, cluster, cap_fraction)
 
     def select(
         self, pending: list[Job], cluster: Cluster, context: SchedulingContext

@@ -1,4 +1,8 @@
-"""Strict first-in-first-out scheduling (the naive baseline)."""
+"""Strict first-in-first-out scheduling (the naive baseline).
+
+Kept as the parity reference for the registered ``fifo`` pipeline
+composition (spec ``"fifo"``): submit-order + strict head-of-line placement.
+"""
 
 from __future__ import annotations
 

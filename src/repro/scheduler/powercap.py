@@ -13,6 +13,12 @@ Two controllers are provided:
 
 :func:`powercap_energy_tradeoff` computes the energy/time/savings curve for a
 sweep of cap levels, which is the CLAIM-POWERCAP benchmark's payload.
+
+In the staged pipeline these controllers surface as power stages: the static
+policy as the ``cap`` token (:class:`~repro.scheduler.stages.StaticCapStage`)
+and the adaptive controller as the ``adaptive`` token
+(:class:`~repro.scheduler.stages.AdaptiveCapStage`), which drives it through
+the simulator's lifecycle hooks.
 """
 
 from __future__ import annotations
@@ -99,6 +105,19 @@ class AdaptivePowerCapController:
     def current_cap(self, job_id: str) -> float:
         """The cap fraction currently imposed on a job (1.0 if none)."""
         return self._current_caps.get(job_id, 1.0)
+
+    def seed_cap(self, job_id: str, cap_fraction: float) -> None:
+        """Register a job's starting cap ahead of its first control step.
+
+        Without seeding, :meth:`update` assumes unseen jobs start at the cap
+        they *agreed* to (``job.power_cap_fraction`` or uncapped); a caller
+        whose scheduler imposed a tighter cap at start (e.g. a pipeline power
+        chain) seeds it here so the first control step relaxes from the real
+        cap instead of silently resetting the job to uncapped.
+        """
+        if cap_fraction <= 0.0:
+            raise SchedulingError(f"cap_fraction must be positive, got {cap_fraction!r}")
+        self._current_caps.setdefault(job_id, min(1.0, float(cap_fraction)))
 
     def update(
         self,

@@ -11,7 +11,10 @@ from repro.cli import _print_rows, build_parser, main
 from repro.experiments import experiment_names
 
 #: Fast parameter overrides for the expensive subcommands.
-FAST_ARGS = {"optimize": ["--jobs", "25", "--horizon-days", "2"]}
+FAST_ARGS = {
+    "optimize": ["--jobs", "25", "--horizon-days", "2"],
+    "schedule": ["--jobs", "25", "--horizon-days", "2"],
+}
 
 
 class TestParser:
@@ -210,6 +213,63 @@ class TestWorkersFlag:
     def test_negative_workers_rejected(self, capsys):
         assert main(["--workers", "-1", "sweep", "--experiments", "table1"]) == 1
         assert "n_workers" in capsys.readouterr().err
+
+
+class TestPoliciesSubcommand:
+    def test_lists_registry_and_stages(self, capsys):
+        assert main(["policies"]) == 0
+        out = capsys.readouterr().out
+        # Every registered policy and its canned pipeline spelling appear.
+        for name in ("fifo", "backfill", "energy-aware", "carbon-aware", "deadline-aware"):
+            assert name in out
+        assert "backfill+carbon(cap=0.7)" in out
+        # Stage tokens with parameters and kinds are listed.
+        for token in ("edf", "sjf", "budget", "price", "renewable", "slack", "adaptive"):
+            assert token in out
+        assert "ceiling=<required>" in out
+
+    def test_json_output(self, capsys):
+        assert main(["policies", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert {row["policy"] for row in payload["policies"]} >= {
+            "fifo",
+            "backfill",
+            "energy-aware",
+            "carbon-aware",
+            "deadline-aware",
+        }
+        kinds = {row["kind"] for row in payload["stages"]}
+        assert kinds == {"ordering", "placement", "gate", "power"}
+
+    def test_optimize_error_references_policies_subcommand(self, capsys):
+        assert main(["--months", "2", "optimize", "--policies", "warp-speed"]) == 1
+        err = capsys.readouterr().err
+        assert "greenhpc policies" in err
+
+
+class TestComposedPolicyGrids:
+    def test_grid_values_split_on_top_level_commas_only(self, capsys):
+        argv = [
+            "--months", "2", "sweep", "--experiments", "schedule",
+            "--grid", "policy=backfill,backfill+carbon(cap=0.7)",
+            "--grid", "jobs=25", "--grid", "horizon_days=2",
+            "--json",
+        ]
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        policies = [row["policy"] for row in payload["rows"]]
+        assert policies == ["backfill", "backfill+carbon(cap=0.7)"]
+
+    def test_schedule_subcommand_accepts_spec_string(self, capsys):
+        argv = [
+            "--months", "2", "schedule",
+            "--policy", "edf+backfill+slack(margin=2.0)",
+            "--jobs", "25", "--horizon-days", "2", "--json",
+        ]
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["params"]["policy"] == "edf+backfill+slack(margin=2.0)"
+        assert payload["scalars"]["delivered_gpu_hours"] > 0
 
 
 class TestPrintRows:

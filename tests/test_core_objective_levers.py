@@ -3,7 +3,22 @@
 import numpy as np
 import pytest
 
-from repro.core.levers import OperatingPoint, default_operating_grid, make_scheduler
+from repro.core.levers import (
+    OperatingPoint,
+    SCHEDULER_REGISTRY,
+    default_operating_grid,
+    make_scheduler,
+    register_policy,
+    resolve_policy,
+)
+from repro.scheduler.pipeline import PolicyPipeline
+from repro.scheduler.stages import (
+    DeadlineOrdering,
+    DeadlineSlackGate,
+    GreenHourGate,
+    PowerBudgetGate,
+    StaticCapStage,
+)
 from repro.core.objective import (
     ActivityConstraint,
     ActivityKind,
@@ -105,8 +120,25 @@ class TestOperatingPoint:
         assert "75%" in point.label()
 
     def test_build_scheduler_types(self):
-        assert isinstance(OperatingPoint(policy_name="energy-aware").build_scheduler(), EnergyAwareScheduler)
-        assert isinstance(OperatingPoint(policy_name="carbon-aware").build_scheduler(), CarbonAwareScheduler)
+        # Legacy names resolve to canned pipeline compositions carrying the
+        # stages that defined the monolithic policies.
+        energy = OperatingPoint(policy_name="energy-aware").build_scheduler()
+        assert isinstance(energy, PolicyPipeline)
+        assert energy.name == "energy-aware"
+        assert any(isinstance(g, PowerBudgetGate) for g in energy.gates)
+        assert any(isinstance(s, StaticCapStage) for s in energy.power)
+        carbon = OperatingPoint(policy_name="carbon-aware").build_scheduler()
+        assert isinstance(carbon, PolicyPipeline)
+        assert any(isinstance(g, GreenHourGate) for g in carbon.gates)
+        deadline = OperatingPoint(policy_name="deadline-aware").build_scheduler()
+        assert isinstance(deadline.ordering, DeadlineOrdering)
+        assert any(isinstance(g, DeadlineSlackGate) for g in deadline.gates)
+
+    def test_spec_string_is_a_valid_policy_lever(self):
+        point = OperatingPoint(policy_name="backfill+carbon(cap=0.7)+budget")
+        scheduler = point.build_scheduler()
+        assert isinstance(scheduler, PolicyPipeline)
+        assert scheduler.name == "backfill+carbon(cap=0.7)+budget"
 
     def test_validation(self):
         with pytest.raises(OptimizationError):
@@ -119,6 +151,50 @@ class TestOperatingPoint:
     def test_make_scheduler_unknown(self):
         with pytest.raises(OptimizationError):
             make_scheduler("not-a-policy")
+
+
+class TestPolicyRegistry:
+    def test_legacy_names_registered(self):
+        for name in ("fifo", "backfill", "energy-aware", "carbon-aware", "deadline-aware"):
+            assert name in SCHEDULER_REGISTRY
+
+    def test_duplicate_registration_raises(self):
+        with pytest.raises(OptimizationError, match="already registered"):
+            register_policy("backfill", "backfill")
+
+    def test_register_and_build_custom_policy(self):
+        definition = register_policy(
+            "test-green-sjf",
+            "sjf+backfill+carbon(cap=0.8)",
+            help="test policy",
+            overwrite=True,
+        )
+        try:
+            scheduler = make_scheduler("test-green-sjf", 0.6)
+            assert isinstance(scheduler, PolicyPipeline)
+            assert scheduler.name == "test-green-sjf"
+            # The cap lever appends a static-cap stage for "append"-mode policies.
+            assert any(isinstance(s, StaticCapStage) for s in scheduler.power)
+            assert definition.effective_spec(0.6).endswith("cap(fraction=0.6)")
+        finally:
+            del SCHEDULER_REGISTRY["test-green-sjf"]
+
+    def test_registration_validates_spec(self):
+        from repro.errors import SchedulingError
+
+        with pytest.raises(SchedulingError, match="no-such-stage"):
+            register_policy("broken", "no-such-stage", overwrite=True)
+        assert "broken" not in SCHEDULER_REGISTRY
+
+    def test_resolve_policy_error_mentions_catalogue(self):
+        with pytest.raises(OptimizationError, match="greenhpc policies"):
+            resolve_policy("warp-speed")
+
+    def test_legacy_cap_quirks_preserved(self):
+        # fifo/backfill discard the cap lever (the pre-pipeline factories did).
+        assert resolve_policy("fifo").effective_spec(0.7) == "fifo"
+        # energy-aware always carries a cap stage, defaulting to full TDP.
+        assert resolve_policy("energy-aware").effective_spec(None).endswith("cap(fraction=1.0)")
 
     def test_default_grid_contains_baseline_and_variants(self):
         grid = default_operating_grid()

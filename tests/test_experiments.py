@@ -24,7 +24,16 @@ from repro.experiments import (
     site_names,
 )
 
-ALL_EXPERIMENTS = ("figures", "table1", "powercap", "shifting", "deadlines", "stress", "optimize")
+ALL_EXPERIMENTS = (
+    "figures",
+    "table1",
+    "powercap",
+    "shifting",
+    "deadlines",
+    "stress",
+    "schedule",
+    "optimize",
+)
 
 
 class TestScenarioSpec:
@@ -174,7 +183,10 @@ class TestRegistry:
 
     def test_every_experiment_returns_uniform_result(self):
         session = ExperimentSession(ScenarioSpec(n_months=6))
-        params = {"optimize": {"jobs": 25, "horizon_days": 2.0}}
+        params = {
+            "optimize": {"jobs": 25, "horizon_days": 2.0},
+            "schedule": {"jobs": 25, "horizon_days": 2.0},
+        }
         results = session.run_many(ALL_EXPERIMENTS, params_by_name=params)
         for name, result in results.items():
             assert isinstance(result, ExperimentResult)
