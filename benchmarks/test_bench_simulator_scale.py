@@ -1,4 +1,4 @@
-"""PERF-SIM-SCALE — the simulator-core scale tier (small / medium / large).
+"""PERF-SIM-SCALE — the simulator-core scale tier (small / medium / large / fleet).
 
 Every experiment in the reproduction bottoms out in ``ClusterSimulator.run``,
 so its speed bounds how many scenarios a campaign can afford.  This benchmark
@@ -16,6 +16,12 @@ It also proves the headroom directly: the pre-refactor scan-based cluster
 rescans for IT power) is embedded below verbatim and run through the same
 event loop on the medium workload.  The incremental core must beat it by at
 least 5x while producing bit-identical job records.
+
+The **fleet** tier gates the multi-site co-simulation layer: stepping a
+3x ``supercloud-small`` fleet in hourly lockstep (routing included) must cost
+at most 1.3x the summed wall time of running each member site standalone on
+its assigned jobs — the lockstep loop and snapshots may not erode the
+simulator-core win — while producing bit-identical per-site job records.
 """
 
 from __future__ import annotations
@@ -398,4 +404,95 @@ def test_bench_pipeline_no_regression_vs_monolithic(worlds):
     )
     assert legacy_s / composed_s >= 5.0, (
         f"composed pipeline must keep the >=5x gate, got {legacy_s / composed_s:.2f}x"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fleet tier: hourly lockstep must not erode the simulator-core win
+# ---------------------------------------------------------------------------
+
+FLEET_N_JOBS = 1500
+FLEET_HORIZON_H = 7 * 24.0
+
+
+def test_bench_fleet_lockstep_overhead():
+    """3x supercloud-small in lockstep: <= 1.3x the summed standalone runs.
+
+    The fleet's extra work per job is the routing decision (one site snapshot
+    per member) plus per-hour ``advance`` calls on every site; the event-loop
+    work itself is identical to running each site standalone on the jobs the
+    router assigned it.  The gate bounds that orchestration overhead, and the
+    per-site job records must stay bit-identical to the standalone runs.
+    """
+    from repro.experiments import ExperimentSession
+    from repro.fleet import FleetSimulator, get_fleet
+
+    fleet = get_fleet("tri-site-small").with_member_overrides(n_months=2)
+    session = ExperimentSession(fleet.members[0])
+    trace = session.job_trace(
+        n_jobs=FLEET_N_JOBS, horizon_h=FLEET_HORIZON_H, spec=fleet.members[0]
+    )
+    # Pre-build every member's substrates so neither side pays construction.
+    for member in fleet.members:
+        session.scenario(member)
+
+    def fleet_run():
+        return FleetSimulator(
+            fleet, router="round-robin", horizon_h=FLEET_HORIZON_H, session=session
+        ).run(trace)
+
+    fleet_result = fleet_run()  # warm-up; also yields the assignment split
+
+    # Each member standalone, on exactly the jobs the fleet assigned it.
+    by_site = {name: [] for name in fleet.member_names}
+    jobs_by_id = {job.job_id: job for job in trace}
+    for assignment in fleet_result.assignments:
+        by_site[assignment.site_name].append(jobs_by_id[assignment.job_id])
+
+    def standalone_run(member, jobs):
+        scenario = session.scenario(member)
+        simulator = ClusterSimulator(
+            Cluster(member.facility, gpu_model=member.workload.gpu_model),
+            BackfillScheduler(),
+            SimulationConfig(horizon_h=FLEET_HORIZON_H),
+            weather_hourly_c=scenario.weather_hourly_c,
+            cooling=CoolingModel(),
+            grid=scenario.grid,
+        )
+        return simulator.run([job.clone_pending() for job in jobs])
+
+    # Interleave the two sides so ambient load/thermal noise hits both alike;
+    # compare best-of-N (the least-disturbed round of each).
+    fleet_walls, standalone_walls, standalone_results = [], [], None
+    for _ in range(5):
+        t0 = time.perf_counter()
+        standalone_results = [
+            standalone_run(member, by_site[member.name]) for member in fleet.members
+        ]
+        standalone_walls.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        fleet_result = fleet_run()
+        fleet_walls.append(time.perf_counter() - t0)
+    fleet_s = min(fleet_walls)
+    standalone_s = min(standalone_walls)
+    overhead = fleet_s / standalone_s
+
+    print_header("Fleet lockstep vs. standalone member runs (3x supercloud-small)")
+    print_rows(
+        [
+            {"mode": "standalone sum", "wall_s": standalone_s, "ratio": 1.0},
+            {"mode": "fleet lockstep", "wall_s": fleet_s, "ratio": overhead},
+        ]
+    )
+    print(
+        f"reading: {FLEET_N_JOBS} jobs routed round-robin across "
+        f"{fleet.n_sites} sites; lockstep overhead {overhead:.2f}x"
+    )
+
+    for site_result, standalone in zip(fleet_result.site_results, standalone_results):
+        assert _records_key(site_result) == _records_key(standalone)
+    assert fleet_result.completed_jobs > 0.9 * FLEET_N_JOBS
+    assert overhead <= 1.3, (
+        f"fleet lockstep overhead must stay <= 1.3x the summed standalone "
+        f"runs, got {overhead:.2f}x"
     )

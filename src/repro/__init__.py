@@ -27,6 +27,13 @@ Subpackages
     The unified experiment API: declarative scenarios, the experiment
     registry, the substrate-caching session behind the ``greenhpc`` CLI,
     and the campaign layer for declarative multi-scenario sweeps.
+``repro.fleet``
+    Multi-site fleet co-simulation: declarative :class:`~repro.fleet.
+    FleetSpec` fleets of registered scenarios relocated across sites
+    (``"supercloud-small@phoenix-az"``), per-site cluster simulators stepped
+    in hourly lockstep, and geo-aware job routing through an open, composable
+    router registry (``round-robin``, ``least-queued``, ``carbon-min``,
+    ``price-min``, ``renewable-max``, filters like ``queue-cap(max=50)``).
 
 Quick start
 -----------
@@ -75,6 +82,24 @@ From the command line::
     greenhpc sweep --experiments table1,powercap \\
         --grid seed=0,1 --grid n_months=3,4 --workers 2 --json
 
+Fleets
+------
+Multi-site questions — "what if this facility were three facilities routing
+work to follow sun, wind and cheap/clean power?" — go through
+:mod:`repro.fleet`: a :class:`~repro.fleet.FleetSpec` names member sites
+(``"supercloud-small@phoenix-az"`` relocates a registered scenario to a
+registered site, adopting that region's grid profile) and a routing policy;
+the :class:`~repro.fleet.FleetSimulator` co-simulates the sites in hourly
+lockstep and dispatches each arriving job through the router.  Routers
+compose in the same spec grammar as scheduling policies
+(``"carbon-min+queue-cap(max=50)"``), the ``fleet`` experiment makes
+``router`` a sweepable campaign lever, and fleet totals equal the sum of the
+member-site totals bit-for-bit::
+
+    greenhpc fleet --router "round-robin,carbon-min" --json
+    greenhpc sweep --experiments fleet \\
+        --grid "router=round-robin,carbon-min,renewable-max"
+
 The legacy :class:`GreenDatacenterModel` facade remains as a thin shim over
 the session API.
 """
@@ -94,6 +119,7 @@ from .experiments import (
     register_scenario,
     run_campaign,
 )
+from .fleet import FleetResult, FleetSimulator, FleetSpec, get_fleet, list_fleets
 from .timeutils import SimulationCalendar
 
 __version__ = "1.1.0"
@@ -125,4 +151,9 @@ __all__ = [
     "get_scenario",
     "list_scenarios",
     "list_experiments",
+    "FleetSpec",
+    "FleetSimulator",
+    "FleetResult",
+    "get_fleet",
+    "list_fleets",
 ]

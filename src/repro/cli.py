@@ -11,6 +11,7 @@ reproducing the paper) can run each analysis without writing Python::
     greenhpc deadlines                  # deadline restructuring comparison
     greenhpc stress                     # the stress-test battery
     greenhpc optimize --jobs 120        # the Eq. 1 operating-point search
+    greenhpc fleet --router carbon-min  # multi-site co-simulation + routing
 
 ``greenhpc sweep`` fans any registered experiments out over a declarative
 grid of scenario fields and experiment parameters (a campaign), optionally
@@ -44,8 +45,8 @@ import sys
 from typing import Iterable, Mapping, Sequence
 
 from .core.levers import registered_policies
-from .errors import ConfigurationError, GreenHPCError, SchedulingError
-from .scheduler.compose import REQUIRED, list_stage_definitions, split_top_level
+from .errors import ConfigurationError, GreenHPCError
+from .scheduler.compose import REQUIRED, list_stage_definitions
 from .experiments import (
     CampaignSpec,
     ExperimentResult,
@@ -58,6 +59,8 @@ from .experiments import (
     scenario_names,
     site_names,
 )
+from .experiments.campaign import split_value_list
+from .fleet import list_router_definitions
 from .parallel import ParallelConfig
 
 __all__ = ["main", "build_parser"]
@@ -226,17 +229,12 @@ def build_parser() -> argparse.ArgumentParser:
 def _split_names(raw: str, what: str) -> tuple[str, ...]:
     """Parse a non-empty comma-separated name list.
 
-    Splits on *top-level* commas only, so parameterized policy specs like
-    ``backfill+carbon(cap=0.7)`` survive as single values in sweep grids.
+    Splits on *top-level* commas only (the shared
+    :func:`~repro.experiments.campaign.split_value_list` rule), so
+    parameterized policy/router specs like ``backfill+carbon(cap=0.7)``
+    survive as single values in sweep grids.
     """
-    try:
-        parts = split_top_level(raw)
-    except SchedulingError as exc:
-        raise ConfigurationError(f"could not parse {what}: {exc}") from None
-    names = tuple(name for name in (part.strip() for part in parts) if name)
-    if not names:
-        raise ConfigurationError(f"{what} must be a non-empty comma-separated list, got {raw!r}")
-    return names
+    return split_value_list(raw, what)
 
 
 def _stage_param_summary(param) -> str:
@@ -268,10 +266,24 @@ def _run_policies(args: argparse.Namespace) -> int:
         }
         for definition in list_stage_definitions()
     ]
+    router_rows = [
+        {
+            "router": definition.name,
+            "kind": definition.kind,
+            "parameters": ", ".join(_stage_param_summary(p) for p in definition.params) or "-",
+            "description": definition.help,
+        }
+        for definition in list_router_definitions()
+    ]
     if args.json:
         import json
 
-        print(json.dumps({"policies": policy_rows, "stages": stage_rows}, indent=2))
+        print(
+            json.dumps(
+                {"policies": policy_rows, "stages": stage_rows, "routers": router_rows},
+                indent=2,
+            )
+        )
         return 0
     print("Registered policies (usable anywhere a policy is addressed):")
     _print_rows(policy_rows)
@@ -282,6 +294,14 @@ def _run_policies(args: argparse.Namespace) -> int:
     print(
         "Any composition is a valid policy, e.g. "
         "'backfill+carbon(cap=0.7)+budget' or 'edf+backfill+slack(margin=2.0)'."
+    )
+    print()
+    print("Fleet routing tokens (same grammar; at most one scorer per spec):")
+    _print_rows(router_rows)
+    print()
+    print(
+        "Any composition is a valid router for the fleet experiment, e.g. "
+        "'carbon-min+queue-cap(max=50)' (sweep with --grid \"router=...\")."
     )
     return 0
 

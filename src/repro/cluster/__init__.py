@@ -38,7 +38,13 @@ against brute-force recounts and the pre-refactor implementation.  The
 from .resources import GpuResource, NodeState, Node, Cluster, Allocation
 from .events import Event, EventType, EventQueue
 from .cooling import CoolingConfig, CoolingModel, FixedOverheadCooling, OptimizedCoolingController
-from .simulator import ClusterSimulator, SimulationConfig, SimulationResult, JobRecord
+from .simulator import (
+    ClusterSimulator,
+    JobRecord,
+    SimulationConfig,
+    SimulationResult,
+    SitePowerSummary,
+)
 from .utilization import UtilizationTracker, cluster_utilization_statistics, utilization_statistics
 
 __all__ = [
@@ -57,6 +63,7 @@ __all__ = [
     "ClusterSimulator",
     "SimulationConfig",
     "SimulationResult",
+    "SitePowerSummary",
     "JobRecord",
     "UtilizationTracker",
     "cluster_utilization_statistics",

@@ -34,6 +34,16 @@ Design notes
   add_observer`) or implicitly by the scheduling policy via
   :meth:`~repro.scheduler.base.Scheduler.observers`.  With no observers the
   hook sites are a single falsy check — the hot path is unchanged.
+* Stepping API: :meth:`ClusterSimulator.run` is a thin composition of
+  :meth:`~ClusterSimulator.begin` (validate and enqueue the trace),
+  :meth:`~ClusterSimulator.advance` (process events strictly before a time
+  bound) and :meth:`~ClusterSimulator.finalize` (drain to the horizon, cut
+  off still-running jobs, assemble the result).  Jobs may also be fed in
+  mid-run with :meth:`~ClusterSimulator.submit`, which is what lets a
+  :class:`~repro.fleet.FleetSimulator` co-simulate several sites in hourly
+  lockstep and dispatch arriving jobs between them — the event order (and
+  therefore every job record) is bit-identical to a monolithic ``run()``
+  of the same per-site trace.
 """
 
 from __future__ import annotations
@@ -57,6 +67,7 @@ __all__ = [
     "SimulationConfig",
     "JobRecord",
     "SimulationResult",
+    "SitePowerSummary",
     "ClusterSimulator",
     "SimulatorObserver",
 ]
@@ -239,6 +250,50 @@ class SimulationResult:
         }
 
 
+@dataclass(frozen=True)
+class SitePowerSummary:
+    """One site's tick-aligned power accounting, from a single API.
+
+    :meth:`ClusterSimulator.site_power_summary` builds this from the recorded
+    tick series (mid-run or after :meth:`~ClusterSimulator.finalize`), so
+    fleet routers, aggregators and reports read total IT + cooling power per
+    tick here instead of recomputing PUE products from raw series.
+    """
+
+    tick_times_h: np.ndarray
+    it_power_w: np.ndarray
+    pue: np.ndarray
+    facility_power_w: np.ndarray
+    tick_h: float
+
+    @property
+    def cooling_power_w(self) -> np.ndarray:
+        """Cooling / overhead power per tick (facility minus IT)."""
+        return self.facility_power_w - self.it_power_w
+
+    @property
+    def it_energy_kwh(self) -> float:
+        """Total IT energy over the recorded ticks in kWh."""
+        return float(np.sum(self.it_power_w) * self.tick_h / 1e3)
+
+    @property
+    def facility_energy_kwh(self) -> float:
+        """Total facility energy (IT + cooling) over the recorded ticks in kWh."""
+        return float(np.sum(self.facility_power_w) * self.tick_h / 1e3)
+
+    @property
+    def cooling_energy_kwh(self) -> float:
+        """Cooling / overhead energy over the recorded ticks in kWh."""
+        return self.facility_energy_kwh - self.it_energy_kwh
+
+    @property
+    def peak_facility_power_w(self) -> float:
+        """Largest facility power observed at any recorded tick."""
+        if self.facility_power_w.size == 0:
+            return 0.0
+        return float(np.max(self.facility_power_w))
+
+
 class ClusterSimulator:
     """Runs a job trace through a scheduling policy on a simulated cluster.
 
@@ -331,7 +386,13 @@ class ClusterSimulator:
         self._pending: list[Job] = []
         self._running: dict[str, Job] = {}
         self._all_jobs: list[Job] = []
+        self._seen_ids: set[str] = set()
         self._current_it_power_w = self.cluster.it_power_w()
+        self._begun = False
+        self._finalized = False
+        self._tick_times: list[float] = []
+        self._tick_it_power: list[float] = []
+        self._power_summary: Optional[SitePowerSummary] = None
 
     # ------------------------------------------------------------------
     # Observers
@@ -355,6 +416,53 @@ class ClusterSimulator:
     def current_it_power_w(self) -> float:
         """The delta-maintained IT power as of the last refresh."""
         return self._current_it_power_w
+
+    @property
+    def n_pending(self) -> int:
+        """Jobs submitted but not yet started (the queue length)."""
+        return len(self._pending)
+
+    @property
+    def n_running(self) -> int:
+        """Jobs currently holding allocations."""
+        return len(self._running)
+
+    def scheduling_context(self, now_h: float) -> SchedulingContext:
+        """The time-varying context (carbon, price, renewables, PUE) at ``now_h``.
+
+        Public read-only view used by fleet routers and telemetry; the same
+        object the scheduler receives at a scheduling round.
+        """
+        return self._context(now_h)
+
+    def site_power_summary(self) -> SitePowerSummary:
+        """Tick-aligned IT / cooling / facility power recorded so far.
+
+        One API for per-site power accounting: valid mid-run (covering the
+        ticks processed up to now) and after :meth:`finalize` (covering the
+        whole horizon, returned from the finalize-time cache — the arrays are
+        shared with the :class:`SimulationResult`, not recomputed).  Fleet
+        aggregation and reports read this instead of recomputing PUE products
+        from raw series.
+        """
+        if self._power_summary is not None:
+            return self._power_summary
+        tick_times = np.asarray(self._tick_times, dtype=float)
+        it_power = np.asarray(self._tick_it_power, dtype=float)
+        if self._pue_hourly is not None and tick_times.size:
+            indices = np.minimum(
+                np.maximum(tick_times, 0.0), self.config.horizon_h
+            ).astype(int)
+            pue = np.asarray(self._pue_hourly[indices], dtype=float)
+        else:
+            pue = np.ones_like(tick_times)
+        return SitePowerSummary(
+            tick_times_h=tick_times,
+            it_power_w=it_power,
+            pue=pue,
+            facility_power_w=it_power * pue,
+            tick_h=self.config.tick_h,
+        )
 
     # ------------------------------------------------------------------
     # Power accounting
@@ -470,33 +578,65 @@ class ClusterSimulator:
                 observer.on_job_finish(self, job, now_h, completed=completed)
 
     # ------------------------------------------------------------------
-    # Main loop
+    # Main loop (stepping API: begin -> [submit/advance]* -> finalize)
     # ------------------------------------------------------------------
-    def run(self, jobs: Sequence[Job]) -> SimulationResult:
-        """Simulate the given job trace and return the run's results."""
-        config = self.config
-        self._all_jobs = list(jobs)
-        seen_ids = set()
-        for job in self._all_jobs:
-            if job.job_id in seen_ids:
-                raise SimulationError(f"duplicate job id {job.job_id!r} in trace")
-            seen_ids.add(job.job_id)
-            if job.state is not JobState.PENDING:
-                raise SimulationError(
-                    f"job {job.job_id!r} must be PENDING at the start of a run"
-                )
-            self._events.push(job.submit_time_h, EventType.JOB_SUBMIT, job)
+    def begin(self, jobs: Sequence[Job] = ()) -> None:
+        """Validate and enqueue a trace plus the tick schedule; run nothing yet.
 
+        May only be called once per simulator.  Additional jobs can be fed in
+        later with :meth:`submit` (before simulated time passes their submit
+        instant), which is how a fleet co-simulation dispatches arriving jobs
+        between lockstepped sites.
+        """
+        if self._begun:
+            raise SimulationError("begin() called twice on the same simulator")
+        self._begun = True
+        for job in jobs:
+            self.submit(job)
+        config = self.config
         n_ticks = int(np.floor(config.horizon_h / config.tick_h)) + 1
         for k in range(n_ticks):
             self._events.push(k * config.tick_h, EventType.TICK, None)
 
-        tick_times: list[float] = []
-        it_power: list[float] = []
+    def submit(self, job: Job) -> None:
+        """Feed one PENDING job into the simulation at its own submit time.
 
+        The submit instant must not lie in the simulator's past (events are
+        processed in time order); within one instant, jobs are considered in
+        submission (call) order, exactly as a monolithic :meth:`run` would.
+        """
+        if not self._begun:
+            raise SimulationError("submit() before begin()")
+        if self._finalized:
+            raise SimulationError("submit() after finalize()")
+        if job.job_id in self._seen_ids:
+            raise SimulationError(f"duplicate job id {job.job_id!r} in trace")
+        if job.state is not JobState.PENDING:
+            raise SimulationError(
+                f"job {job.job_id!r} must be PENDING at the start of a run"
+            )
+        self._seen_ids.add(job.job_id)
+        self._all_jobs.append(job)
+        self._events.push(job.submit_time_h, EventType.JOB_SUBMIT, job)
+
+    def advance(self, until_h: float) -> None:
+        """Process every event strictly before ``until_h`` (capped at the horizon).
+
+        The right endpoint is exclusive so a lockstep driver can dispatch the
+        jobs of window ``[k, k+1)`` *before* the events of instant ``k+1``
+        (ticks, later submits) are drained — preserving the exact event order
+        of a monolithic run.
+        """
+        if not self._begun:
+            raise SimulationError("advance() before begin()")
+        self._drain(min(until_h - 1e-9, self.config.horizon_h + 1e-9))
+
+    def _drain(self, limit_h: float) -> None:
+        """The event loop: drain instants with time <= ``limit_h``."""
+        config = self.config
         while not self._events.is_empty():
             now_h = self._events.peek_time()
-            if now_h is None or now_h > config.horizon_h + 1e-9:
+            if now_h is None or now_h > limit_h:
                 break
             # Drain all events at this instant (finishes first, then submits, then ticks).
             allocations_changed = False
@@ -535,13 +675,23 @@ class ClusterSimulator:
                         observer.on_round(self, now_h, context, decisions)
 
             if tick_here:
-                tick_times.append(now_h)
-                it_power.append(self._current_it_power_w)
+                self._tick_times.append(now_h)
+                self._tick_it_power.append(self._current_it_power_w)
                 if self._observers:
                     # Measure, then actuate: control actions taken here show
                     # up from the next tick on.
                     for observer in self._observers:
                         observer.on_tick(self, now_h, self._current_it_power_w)
+
+    def finalize(self) -> SimulationResult:
+        """Drain to the horizon, cut off still-running jobs, build the result."""
+        if not self._begun:
+            raise SimulationError("finalize() before begin()")
+        if self._finalized:
+            raise SimulationError("finalize() called twice on the same simulator")
+        config = self.config
+        self._drain(config.horizon_h + 1e-9)
+        self._finalized = True
 
         # Jobs still running at the horizon are accounted up to the horizon but
         # do not count as completed work.
@@ -549,18 +699,12 @@ class ClusterSimulator:
             self._finish_job(job_id, config.horizon_h, completed=False)
         self._refresh_it_power()
 
-        tick_times_arr = np.asarray(tick_times, dtype=float)
-        it_power_arr = np.asarray(it_power, dtype=float)
         # PUE over the whole tick series in one vectorized lookup (the hourly
-        # curve was precomputed at construction).
-        if self._pue_hourly is not None:
-            indices = np.minimum(
-                np.maximum(tick_times_arr, 0.0), config.horizon_h
-            ).astype(int)
-            pue_arr = np.asarray(self._pue_hourly[indices], dtype=float)
-        else:
-            pue_arr = np.ones_like(tick_times_arr)
-        facility_power_arr = it_power_arr * pue_arr
+        # curve was precomputed at construction).  The summary is cached: the
+        # result and later site_power_summary() calls share the same arrays.
+        power = self.site_power_summary()
+        self._power_summary = power
+        tick_times_arr = power.tick_times_h
 
         if self._carbon_hourly is not None:
             indices = np.clip(tick_times_arr.astype(int), 0, self._carbon_hourly.shape[0] - 1)
@@ -575,13 +719,18 @@ class ClusterSimulator:
             scheduler_name=self.scheduler.name,
             config=config,
             tick_times_h=tick_times_arr,
-            it_power_w=it_power_arr,
-            facility_power_w=facility_power_arr,
-            pue=pue_arr,
+            it_power_w=power.it_power_w,
+            facility_power_w=power.facility_power_w,
+            pue=power.pue,
             carbon_intensity_g_per_kwh=carbon,
             price_per_mwh=price,
             job_records=records,
         )
+
+    def run(self, jobs: Sequence[Job]) -> SimulationResult:
+        """Simulate the given job trace and return the run's results."""
+        self.begin(jobs)
+        return self.finalize()
 
     @staticmethod
     def _record_for(job: Job) -> JobRecord:

@@ -13,6 +13,7 @@ __all__ = [
     "UnitError",
     "SimulationError",
     "SchedulingError",
+    "FleetError",
     "ResourceError",
     "TelemetryError",
     "TrackingError",
@@ -46,6 +47,10 @@ class SimulationError(GreenHPCError, RuntimeError):
 
 class SchedulingError(GreenHPCError, RuntimeError):
     """Raised when a scheduler cannot produce a valid placement or violates invariants."""
+
+
+class FleetError(GreenHPCError, RuntimeError):
+    """Raised by the multi-site fleet co-simulation (routing and lockstep invariants)."""
 
 
 class ResourceError(GreenHPCError, RuntimeError):

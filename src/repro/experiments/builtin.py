@@ -18,9 +18,9 @@ from ..analysis.tables import table1_conferences
 from ..core.levers import SCHEDULER_REGISTRY, default_operating_grid, resolve_policy
 from ..core.policies import LoadShiftingPolicy, evaluate_deadline_restructuring, evaluate_load_shifting
 from ..core.stress import StressTestHarness
-from ..errors import ConfigurationError, OptimizationError, SchedulingError
-from ..scheduler.compose import split_top_level
+from ..errors import ConfigurationError, FleetError, OptimizationError, SchedulingError
 from ..scheduler.powercap import powercap_energy_tradeoff
+from .campaign import split_value_list
 from .registry import ExperimentParam, experiment
 from .result import ExperimentResult
 from .session import ExperimentSession
@@ -34,22 +34,20 @@ __all__ = [
     "run_stress",
     "run_schedule",
     "run_optimize",
+    "run_fleet",
 ]
 
 
 def _resolve_policy_list(policies: str) -> tuple[str, ...]:
     """Parse and validate a comma-separated list of policy names/specs.
 
-    Commas inside stage parentheses do not split
-    (``backfill,backfill+carbon(cap=0.7)`` is two policies), and every entry
-    must resolve against the policy registry or the pipeline grammar.
+    Splitting is the shared :func:`split_value_list` rule (commas inside
+    stage parentheses do not split, so ``backfill,backfill+carbon(cap=0.7)``
+    is two policies), and every entry must resolve against the policy
+    registry or the pipeline grammar.
     """
+    names = split_value_list(policies, "policies")
     try:
-        names = tuple(
-            name for name in (part.strip() for part in split_top_level(policies)) if name
-        )
-        if not names:
-            raise OptimizationError("no policies given")
         for name in names:
             resolve_policy(name)
     except (OptimizationError, SchedulingError) as exc:
@@ -292,6 +290,117 @@ def run_schedule(
         rows=(summary,),
         scalars=scalars,
         params={"policy": policy, "jobs": jobs, "horizon_days": horizon_days},
+        notes=tuple(notes),
+    )
+
+
+@experiment(
+    "fleet",
+    help="multi-site fleet co-simulation with geo-aware job routing",
+    params=(
+        ExperimentParam(
+            "fleet",
+            str,
+            "tri-site-small",
+            help="registered fleet name (see repro.fleet.fleet_names())",
+        ),
+        ExperimentParam(
+            "router",
+            str,
+            "",
+            help=(
+                "routing spec(s), e.g. 'carbon-min+queue-cap(max=50)'; "
+                "comma-separated to compare several in one run; empty = the "
+                "fleet's own default (see `greenhpc policies` for the tokens)"
+            ),
+        ),
+        ExperimentParam("policy", str, "backfill", help="per-site scheduling policy"),
+        ExperimentParam("jobs", int, 300, help="number of jobs in the shared generated trace"),
+        ExperimentParam("horizon_days", float, 7.0, help="co-simulation horizon in days"),
+    ),
+)
+def run_fleet(
+    session: ExperimentSession,
+    fleet: str,
+    router: str,
+    policy: str,
+    jobs: int,
+    horizon_days: float,
+) -> ExperimentResult:
+    """Route a shared workload across a fleet's member sites, per router.
+
+    The session's world overrides (``--seed``, ``--months``, a swept
+    ``seed``/``n_months`` campaign dimension) apply to *every* member site,
+    so a fleet point and a single-site point of the same campaign describe
+    the same worlds.  ``router`` is the sweepable lever: a campaign grid over
+    it (``--grid "router=round-robin,carbon-min,renewable-max"``) compares
+    routing policies on identical seeded fleets, and a comma-separated list
+    compares them within one run.
+    """
+    # Imported lazily: repro.fleet builds on this package, so a module-level
+    # import would be circular when repro.fleet is imported first.
+    from ..fleet import FleetSimulator, get_fleet, make_router
+
+    fleet_spec = get_fleet(fleet)
+    spec = session.spec
+    fleet_spec = fleet_spec.with_member_overrides(
+        seed=spec.seed, start_year=spec.start_year, n_months=spec.n_months
+    )
+    routers = (
+        split_value_list(router, "fleet routers") if router.strip() else (fleet_spec.router,)
+    )
+    try:
+        routers = tuple(make_router(name).name for name in routers)  # canonical spellings
+    except FleetError as exc:
+        raise ConfigurationError(
+            f"invalid router {router!r}: {exc} (run `greenhpc policies` for the "
+            "router catalogue)"
+        ) from None
+
+    rows: list[dict] = []
+    results = []
+    for router_name in routers:
+        result = FleetSimulator(
+            fleet_spec,
+            router=router_name,
+            policy=policy,
+            horizon_h=horizon_days * 24.0,
+            session=session,
+        ).run(n_jobs=jobs)
+        results.append(result)
+        fleet_row = {"site": "(fleet)"}
+        fleet_row.update(result.summary())
+        rows.append(fleet_row)
+        rows.extend(result.site_rows())
+
+    greenest = min(results, key=lambda r: r.total_emissions_kg)
+    headline = results[0]
+    scalars = dict(headline.summary())
+    scalars["n_routers"] = len(results)
+    scalars["greenest_router"] = greenest.router
+    scalars["greenest_emissions_kg"] = greenest.total_emissions_kg
+    notes = [
+        f"fleet: {fleet_spec.name} ({fleet_spec.n_sites} sites), policy: {policy}",
+    ]
+    for result in results:
+        counts = ", ".join(f"{name}={n}" for name, n in result.dispatch_counts().items())
+        notes.append(
+            f"router {result.router}: {result.facility_energy_kwh:.1f} kWh, "
+            f"{result.total_emissions_kg:.1f} kgCO2e, "
+            f"mean wait {result.mean_wait_h:.2f} h [{counts}]"
+        )
+    return ExperimentResult(
+        name="fleet",
+        spec=session.spec,
+        rows=tuple(rows),
+        scalars=scalars,
+        params={
+            "fleet": fleet,
+            "router": ",".join(routers),
+            "policy": policy,
+            "jobs": jobs,
+            "horizon_days": horizon_days,
+        },
         notes=tuple(notes),
     )
 

@@ -44,16 +44,46 @@ from dataclasses import dataclass, field, fields
 from typing import Any, Iterable, Mapping, Optional, Sequence, Union
 
 from ..config import config_to_jsonable
-from ..errors import ConfigurationError, DataError
+from ..errors import ConfigurationError, DataError, SchedulingError
 from ..parallel.pool import ParallelConfig, map_parallel
 from ..parallel.sweep import SweepPoint, grid_points
 from ..rng import derive_seed
+from ..scheduler.compose import split_top_level
 from .registry import get_experiment
 from .result import ExperimentResult
 from .session import ExperimentSession
 from .spec import ScenarioSpec, get_scenario, get_site
 
-__all__ = ["CampaignPoint", "CampaignSpec", "CampaignResult", "run_campaign"]
+__all__ = [
+    "CampaignPoint",
+    "CampaignSpec",
+    "CampaignResult",
+    "run_campaign",
+    "split_value_list",
+]
+
+
+def split_value_list(raw: str, what: str = "value list") -> tuple[str, ...]:
+    """Parse a non-empty comma-separated value list, paren-aware.
+
+    The shared splitting rule for every comma-separated grid/list surface
+    (``greenhpc sweep --grid key=v1,v2``, ``--experiments``, the ``fleet``
+    experiment's ``router`` list, the ``optimize`` experiment's policies):
+    commas inside parentheses do not split, so parameterized specs like
+    ``backfill+carbon(cap=0.7)`` or ``carbon-min+queue-cap(max=50)`` survive
+    as single values.  Raises :class:`ConfigurationError` (naming ``what``)
+    on unbalanced parentheses or an empty list.
+    """
+    try:
+        parts = split_top_level(raw)
+    except SchedulingError as exc:
+        raise ConfigurationError(f"could not parse {what}: {exc}") from None
+    values = tuple(value for value in (part.strip() for part in parts) if value)
+    if not values:
+        raise ConfigurationError(
+            f"{what} must be a non-empty comma-separated list, got {raw!r}"
+        )
+    return values
 
 #: Fields of :class:`ScenarioSpec` a campaign's ``scenario_grid`` may sweep.
 SPEC_GRID_FIELDS: frozenset[str] = frozenset(f.name for f in fields(ScenarioSpec))

@@ -129,15 +129,27 @@ class ExperimentSession:
         """The facility's hourly energy profile in kWh (1-hour steps)."""
         return self.scenario().load_trace.facility_power_w / 1e3
 
-    def job_trace(self, *, n_jobs: int = 300, horizon_h: float = 7 * 24.0) -> list[Job]:
-        """A SuperCloud-like job-level trace (cached per ``(n_jobs, horizon)``)."""
-        key = (self._spec, int(n_jobs), float(horizon_h))
+    def job_trace(
+        self,
+        *,
+        n_jobs: int = 300,
+        horizon_h: float = 7 * 24.0,
+        spec: Optional[ScenarioSpec] = None,
+    ) -> list[Job]:
+        """A SuperCloud-like job-level trace (cached per ``(spec, n_jobs, horizon)``).
+
+        ``spec`` defaults to the session spec; the fleet co-simulator passes
+        a member spec here so its shared workload is generated (and cached)
+        exactly as a single-site session over that member would.
+        """
+        spec = spec or self._spec
+        key = (spec, int(n_jobs), float(horizon_h))
         trace = self._job_traces.get(key)
         if trace is None:
             generator = SuperCloudTraceGenerator(
-                self._spec.trace_config(),
-                demand_model=DeadlineDemandModel(seed=self._spec.seed),
-                seed=self._spec.seed,
+                spec.trace_config(),
+                demand_model=DeadlineDemandModel(seed=spec.seed),
+                seed=spec.seed,
             )
             trace = generator.generate_jobs(n_jobs=n_jobs, horizon_h=horizon_h)
             self._job_traces[key] = trace

@@ -1,0 +1,271 @@
+"""The aggregated outcome of one fleet co-simulation.
+
+A :class:`FleetResult` keeps every member site's full
+:class:`~repro.cluster.simulator.SimulationResult` (and its
+:class:`~repro.cluster.simulator.SitePowerSummary`) plus the job→site
+assignment table, and derives fleet-level totals **as sums over the member
+results** — so "fleet == Σ sites" holds bit-for-bit by construction, and the
+conservation tests verify it independently.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Optional
+
+import numpy as np
+
+from ..cluster.simulator import SimulationResult, SitePowerSummary
+from ..config import config_to_jsonable
+from ..errors import FleetError
+
+__all__ = ["JobAssignment", "FleetResult"]
+
+
+@dataclass(frozen=True, slots=True)
+class JobAssignment:
+    """One routing decision: which site received which job, and when."""
+
+    job_id: str
+    site_index: int
+    site_name: str
+    submit_time_h: float
+    dispatch_hour: int
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """Everything a fleet-comparison experiment needs from one co-simulation.
+
+    Attributes
+    ----------
+    fleet_name / router / policy:
+        Identity of the run: the fleet, the routing spec actually used
+        (canonical spelling) and the per-site scheduling policy.
+    site_names:
+        Member site labels, in member order.
+    site_results:
+        One full single-site :class:`SimulationResult` per member.
+    site_power:
+        The members' :class:`SitePowerSummary` objects (the one per-site
+        power-accounting API; fleet aggregation reads these).
+    assignments:
+        The job→site table, in dispatch order.
+    """
+
+    fleet_name: str
+    router: str
+    policy: str
+    site_names: tuple[str, ...]
+    site_results: tuple[SimulationResult, ...]
+    site_power: tuple[SitePowerSummary, ...]
+    assignments: tuple[JobAssignment, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.site_names) != len(self.site_results) or len(self.site_names) != len(
+            self.site_power
+        ):
+            raise FleetError("site_names, site_results and site_power must align")
+        if not self.site_names:
+            raise FleetError("a fleet result needs at least one site")
+
+    # ------------------------------------------------------------------
+    # Fleet totals (sums over the member sites, bit-for-bit)
+    # ------------------------------------------------------------------
+    @property
+    def n_sites(self) -> int:
+        """Number of member sites."""
+        return len(self.site_names)
+
+    @property
+    def n_jobs(self) -> int:
+        """Number of jobs dispatched across the fleet."""
+        return len(self.assignments)
+
+    @property
+    def it_energy_kwh(self) -> float:
+        """Fleet IT energy: the sum of the member sites' totals."""
+        return sum(power.it_energy_kwh for power in self.site_power)
+
+    @property
+    def facility_energy_kwh(self) -> float:
+        """Fleet facility energy: the sum of the member sites' totals."""
+        return sum(power.facility_energy_kwh for power in self.site_power)
+
+    @property
+    def cooling_energy_kwh(self) -> float:
+        """Fleet cooling energy: the sum of the member sites' totals."""
+        return sum(power.cooling_energy_kwh for power in self.site_power)
+
+    @property
+    def total_emissions_kg(self) -> float:
+        """Fleet emissions: the sum of the member sites' totals."""
+        return sum(result.total_emissions_kg for result in self.site_results)
+
+    @property
+    def total_cost_usd(self) -> float:
+        """Fleet electricity cost: the sum of the member sites' totals."""
+        return sum(result.total_cost_usd for result in self.site_results)
+
+    @property
+    def completed_jobs(self) -> int:
+        """Jobs completed within the horizon, fleet-wide."""
+        return sum(result.completed_jobs for result in self.site_results)
+
+    @property
+    def delivered_gpu_hours(self) -> float:
+        """Baseline GPU-hours of completed work, fleet-wide."""
+        return sum(result.delivered_gpu_hours for result in self.site_results)
+
+    @property
+    def peak_fleet_power_w(self) -> float:
+        """Peak of the fleet-wide (summed, tick-aligned) facility power series."""
+        series = self.fleet_facility_power_w
+        if series.size == 0:
+            return 0.0
+        return float(np.max(series))
+
+    @property
+    def fleet_facility_power_w(self) -> np.ndarray:
+        """The tick-aligned sum of the member sites' facility power series."""
+        return np.sum([power.facility_power_w for power in self.site_power], axis=0)
+
+    # ------------------------------------------------------------------
+    # Service quality (over the union of all sites' job records)
+    # ------------------------------------------------------------------
+    def _waits(self) -> list[float]:
+        return [
+            record.wait_time_h
+            for result in self.site_results
+            for record in result.job_records
+            if record.wait_time_h is not None
+        ]
+
+    @property
+    def mean_wait_h(self) -> float:
+        """Mean queue wait among started jobs, fleet-wide (NaN when none)."""
+        waits = self._waits()
+        return float(np.mean(waits)) if waits else float("nan")
+
+    @property
+    def p95_wait_h(self) -> float:
+        """95th-percentile queue wait among started jobs, fleet-wide."""
+        waits = self._waits()
+        return float(np.percentile(waits, 95)) if waits else float("nan")
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        """Fraction of deadline-carrying jobs fleet-wide that missed."""
+        deadline_jobs = [
+            record
+            for result in self.site_results
+            for record in result.job_records
+            if record.had_deadline
+        ]
+        if not deadline_jobs:
+            return 0.0
+        missed = sum(1 for r in deadline_jobs if r.missed_deadline or not r.completed)
+        return missed / len(deadline_jobs)
+
+    @property
+    def energy_per_gpu_hour_kwh(self) -> float:
+        """Fleet facility energy per delivered baseline GPU-hour."""
+        delivered = self.delivered_gpu_hours
+        if delivered == 0:
+            return float("nan")
+        return self.facility_energy_kwh / delivered
+
+    # ------------------------------------------------------------------
+    # Assignment accounting
+    # ------------------------------------------------------------------
+    def dispatch_counts(self) -> dict[str, int]:
+        """Jobs routed to each site, keyed by site name (member order)."""
+        counts = {name: 0 for name in self.site_names}
+        for assignment in self.assignments:
+            counts[assignment.site_name] += 1
+        return counts
+
+    def assignment_for(self, job_id: str) -> JobAssignment:
+        """The routing decision for one job id."""
+        for assignment in self.assignments:
+            if assignment.job_id == job_id:
+                return assignment
+        raise FleetError(f"no assignment recorded for job {job_id!r}")
+
+    # ------------------------------------------------------------------
+    # Flat views
+    # ------------------------------------------------------------------
+    def summary(self) -> dict[str, Any]:
+        """A flat dictionary of the fleet-level headline metrics."""
+        return {
+            "fleet": self.fleet_name,
+            "router": self.router,
+            "policy": self.policy,
+            "n_sites": self.n_sites,
+            "n_jobs": self.n_jobs,
+            "it_energy_kwh": self.it_energy_kwh,
+            "facility_energy_kwh": self.facility_energy_kwh,
+            "cooling_energy_kwh": self.cooling_energy_kwh,
+            "emissions_kg": self.total_emissions_kg,
+            "cost_usd": self.total_cost_usd,
+            "peak_fleet_power_kw": self.peak_fleet_power_w / 1e3,
+            "completed_jobs": float(self.completed_jobs),
+            "delivered_gpu_hours": self.delivered_gpu_hours,
+            "mean_wait_h": self.mean_wait_h,
+            "p95_wait_h": self.p95_wait_h,
+            "deadline_miss_rate": self.deadline_miss_rate,
+            "energy_per_gpu_hour_kwh": self.energy_per_gpu_hour_kwh,
+        }
+
+    def site_rows(self) -> list[dict[str, Any]]:
+        """One flat record per member site (summary + dispatch count)."""
+        counts = self.dispatch_counts()
+        rows = []
+        for name, result, power in zip(self.site_names, self.site_results, self.site_power):
+            row = {
+                "site": name,
+                "router": self.router,
+                "jobs_dispatched": counts[name],
+                "it_energy_kwh": power.it_energy_kwh,
+                "facility_energy_kwh": power.facility_energy_kwh,
+                "cooling_energy_kwh": power.cooling_energy_kwh,
+                "emissions_kg": result.total_emissions_kg,
+                "cost_usd": result.total_cost_usd,
+                "completed_jobs": float(result.completed_jobs),
+                "delivered_gpu_hours": result.delivered_gpu_hours,
+                "mean_wait_h": result.mean_wait_h,
+            }
+            rows.append(row)
+        return rows
+
+    def to_dict(self, *, include_assignments: bool = True) -> dict[str, Any]:
+        """Strict-JSON-ready dictionary form of the fleet outcome."""
+        payload: dict[str, Any] = {
+            "fleet": self.fleet_name,
+            "router": self.router,
+            "policy": self.policy,
+            "summary": config_to_jsonable(self.summary()),
+            "sites": config_to_jsonable(self.site_rows()),
+            "dispatch_counts": self.dispatch_counts(),
+        }
+        if include_assignments:
+            payload["assignments"] = [
+                {
+                    "job_id": a.job_id,
+                    "site": a.site_name,
+                    "site_index": a.site_index,
+                    "submit_time_h": a.submit_time_h,
+                    "dispatch_hour": a.dispatch_hour,
+                }
+                for a in self.assignments
+            ]
+        return payload
+
+    def to_json(self, *, indent: Optional[int] = None, include_assignments: bool = True) -> str:
+        """Serialize :meth:`to_dict` as strict JSON text."""
+        return json.dumps(
+            config_to_jsonable(self.to_dict(include_assignments=include_assignments)),
+            indent=indent,
+            allow_nan=False,
+        )

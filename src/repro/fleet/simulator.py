@@ -1,0 +1,240 @@
+"""The multi-site fleet co-simulator.
+
+A :class:`FleetSimulator` builds one
+:class:`~repro.cluster.simulator.ClusterSimulator` per member site of a
+:class:`~repro.fleet.spec.FleetSpec` (each against its *own* weather, cooling
+and grid substrates) and steps them in hourly lockstep via the simulator's
+stepping API: at each hour boundary the jobs arriving in the next window are
+dispatched to a site by the routing policy, then every site advances one hour.
+
+Because the per-site event order is exactly what a monolithic single-site
+``run()`` of the same assigned jobs would produce, a one-site fleet
+reproduces the single-site :class:`~repro.experiments.ExperimentSession`
+results **bit-identically** — the parity anchor of the subsystem's tests —
+and every fleet total is the exact sum of its member-site totals.
+
+The shared workload arrives from the first member's trace configuration (one
+generator, one seed), mirroring
+:meth:`~repro.experiments.ExperimentSession.job_trace`; substrates are built
+through an (optionally shared) session, so comparing R routers on the same
+fleet builds each site's world once, not R times.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Union
+
+from ..cluster.cooling import CoolingModel
+from ..cluster.resources import Cluster
+from ..cluster.simulator import ClusterSimulator, SimulationConfig
+from ..core.levers import make_scheduler
+from ..errors import FleetError, SimulationError
+from ..experiments.session import ExperimentSession
+from ..experiments.spec import ScenarioSpec
+from ..scheduler.job import Job
+from .result import FleetResult, JobAssignment
+from .routing import Router, SiteSnapshot, make_router
+from .spec import FleetSpec
+
+__all__ = ["FleetSimulator"]
+
+
+class _FleetSite:
+    """One member site mid-co-simulation: spec, simulator and counters."""
+
+    def __init__(self, index: int, spec: ScenarioSpec, simulator: ClusterSimulator) -> None:
+        self.index = index
+        self.spec = spec
+        self.simulator = simulator
+        self.dispatched = 0
+
+
+class FleetSimulator:
+    """Co-simulates a fleet's member sites under a geo-aware routing policy.
+
+    Parameters
+    ----------
+    fleet:
+        The fleet to simulate — a :class:`FleetSpec` or a registered fleet
+        name.
+    router:
+        Routing policy override: a spec string in the
+        :mod:`~repro.fleet.routing` grammar or a :class:`Router` instance;
+        ``None`` uses the fleet's own default.
+    policy:
+        Per-site scheduling policy (registered name or pipeline spec string),
+        applied at every member site.
+    horizon_h:
+        Simulated horizon in hours (shared by all sites).
+    power_cap_fraction:
+        Optional GPU power-cap lever handed to the per-site scheduler.
+    session:
+        Substrate cache to build member worlds through; a private
+        :class:`ExperimentSession` keyed to the first member is created when
+        omitted.  Passing the experiment's session shares weather/trace/grid
+        builds across routers and campaign points.
+    """
+
+    def __init__(
+        self,
+        fleet: Union[FleetSpec, str],
+        *,
+        router: Union[str, Router, None] = None,
+        policy: str = "backfill",
+        horizon_h: float = 7 * 24.0,
+        power_cap_fraction: Optional[float] = None,
+        session: Optional[ExperimentSession] = None,
+    ) -> None:
+        if isinstance(fleet, str):
+            from .spec import get_fleet
+
+            fleet = get_fleet(fleet)
+        self.fleet = fleet
+        self.router: Router = make_router(router if router is not None else fleet.router)
+        self.policy = policy
+        self.horizon_h = float(horizon_h)
+        self.power_cap_fraction = power_cap_fraction
+        self._session = session if session is not None else ExperimentSession(fleet.members[0])
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _build_sites(self) -> list[_FleetSite]:
+        sites = []
+        for index, spec in enumerate(self.fleet.members):
+            scenario = self._session.scenario(spec)
+            try:
+                simulator = ClusterSimulator(
+                    Cluster(spec.facility, gpu_model=spec.workload.gpu_model),
+                    make_scheduler(self.policy, self.power_cap_fraction),
+                    SimulationConfig(horizon_h=self.horizon_h),
+                    weather_hourly_c=scenario.weather_hourly_c,
+                    cooling=CoolingModel(),
+                    grid=scenario.grid,
+                )
+            except SimulationError as exc:
+                raise FleetError(
+                    f"fleet member {spec.name!r} cannot host a "
+                    f"{self.horizon_h / 24.0:.1f}-day horizon: {exc}"
+                ) from None
+            sites.append(_FleetSite(index, spec, simulator))
+        return sites
+
+    def shared_job_trace(self, *, n_jobs: int = 300) -> list[Job]:
+        """The fleet's shared workload: the first member's generated trace."""
+        return self._session.job_trace(
+            n_jobs=n_jobs, horizon_h=self.horizon_h, spec=self.fleet.members[0]
+        )
+
+    def _snapshots(self, sites: Sequence[_FleetSite], now_h: float) -> list[SiteSnapshot]:
+        """Fresh snapshots of every site at ``now_h`` (one context read each).
+
+        Built once per dispatch window: grid signals only change hourly, and
+        queue/occupancy state only changes when a site ``advance``\\ s.  Within
+        a window, :meth:`run` updates the receiving site's snapshot
+        incrementally after each dispatch so routers see in-flight arrivals.
+        """
+        snapshots = []
+        for site in sites:
+            simulator = site.simulator
+            context = simulator.scheduling_context(now_h)
+            snapshots.append(
+                SiteSnapshot(
+                    index=site.index,
+                    name=site.spec.name,
+                    queue_length=simulator.n_pending,
+                    running_jobs=simulator.n_running,
+                    free_gpus=simulator.cluster.n_free_gpus,
+                    total_gpus=site.spec.facility.total_gpus,
+                    it_power_w=simulator.current_it_power_w,
+                    carbon_intensity_g_per_kwh=context.carbon_intensity_g_per_kwh,
+                    price_per_mwh=context.price_per_mwh,
+                    renewable_share=context.renewable_share,
+                    dispatched=site.dispatched,
+                )
+            )
+        return snapshots
+
+    # ------------------------------------------------------------------
+    # The lockstep loop
+    # ------------------------------------------------------------------
+    def run(self, jobs: Optional[Sequence[Job]] = None, *, n_jobs: int = 300) -> FleetResult:
+        """Co-simulate the fleet over a job trace and return the fleet result.
+
+        ``jobs`` defaults to the shared workload trace
+        (:meth:`shared_job_trace`); explicit traces are dispatched as given.
+        Jobs are cloned at dispatch, so the input trace can be reused across
+        routers and runs.
+        """
+        trace = list(jobs) if jobs is not None else self.shared_job_trace(n_jobs=n_jobs)
+        # Stable sort: same-instant jobs keep trace order, so a site's event
+        # sequence is identical to a monolithic run of its assigned jobs.
+        trace.sort(key=lambda job: job.submit_time_h)
+
+        sites = self._build_sites()
+        for site in sites:
+            site.simulator.begin()
+        self.router.begin_fleet(len(sites))
+
+        assignments: list[JobAssignment] = []
+        snapshots: Optional[list[SiteSnapshot]] = None
+
+        def dispatch(job: Job, now_h: float, hour: int) -> None:
+            nonlocal snapshots
+            if snapshots is None:  # first arrival of this window
+                snapshots = self._snapshots(sites, now_h)
+            index = self.router.select(job, snapshots, now_h)
+            if not 0 <= index < len(sites):
+                raise FleetError(
+                    f"router {self.router.name!r} returned site index {index!r} "
+                    f"for job {job.job_id!r} (fleet has {len(sites)} sites)"
+                )
+            site = sites[index]
+            site.simulator.submit(job.clone_pending())
+            site.dispatched += 1
+            # In-flight accounting: later arrivals of the same window see the
+            # receiving site's queue grow (its simulator only drains the
+            # submit when it next advances).
+            chosen = snapshots[index]
+            chosen.queue_length += 1
+            chosen.dispatched = site.dispatched
+            assignments.append(
+                JobAssignment(
+                    job_id=job.job_id,
+                    site_index=site.index,
+                    site_name=site.spec.name,
+                    submit_time_h=job.submit_time_h,
+                    dispatch_hour=hour,
+                )
+            )
+
+        n_hours = int(math.ceil(self.horizon_h))
+        cursor = 0
+        for hour in range(n_hours):
+            # Route this window's arrivals first, then advance every site
+            # through the window — submits at instant `hour` must be enqueued
+            # before that instant's events are drained.
+            while cursor < len(trace) and trace[cursor].submit_time_h < hour + 1:
+                dispatch(trace[cursor], float(hour), hour)
+                cursor += 1
+            snapshots = None
+            for site in sites:
+                site.simulator.advance(hour + 1)
+        # Jobs submitting at/after the horizon still get routed (and recorded
+        # as never-started), so every generated job is dispatched exactly once.
+        while cursor < len(trace):
+            dispatch(trace[cursor], self.horizon_h, n_hours)
+            cursor += 1
+
+        site_results = tuple(site.simulator.finalize() for site in sites)
+        site_power = tuple(site.simulator.site_power_summary() for site in sites)
+        return FleetResult(
+            fleet_name=self.fleet.name,
+            router=self.router.name,
+            policy=self.policy,
+            site_names=self.fleet.member_names,
+            site_results=site_results,
+            site_power=site_power,
+            assignments=tuple(assignments),
+        )

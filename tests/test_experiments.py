@@ -32,6 +32,7 @@ ALL_EXPERIMENTS = (
     "deadlines",
     "stress",
     "schedule",
+    "fleet",
     "optimize",
 )
 
@@ -186,6 +187,7 @@ class TestRegistry:
         params = {
             "optimize": {"jobs": 25, "horizon_days": 2.0},
             "schedule": {"jobs": 25, "horizon_days": 2.0},
+            "fleet": {"jobs": 25, "horizon_days": 2.0},
         }
         results = session.run_many(ALL_EXPERIMENTS, params_by_name=params)
         for name, result in results.items():
@@ -193,7 +195,9 @@ class TestRegistry:
             assert result.name == name
             assert result.spec == session.spec
             assert result.rows  # every analysis produces tabular output
-        assert session.scenario_builds == 1
+        # The base world builds once; the fleet experiment adds one build per
+        # member site of its (tri-site) fleet, cached on the same session.
+        assert session.scenario_builds == 1 + 3
 
 
 class TestShimEquivalence:
