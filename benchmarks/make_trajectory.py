@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Compress a pytest-benchmark JSON dump into a perf-trajectory baseline.
+
+The committed ``BENCH_<n>.json`` files at the repo root track how the
+simulator core's wall times move across PRs.  Each is the pytest-benchmark
+output of ``benchmarks/test_bench_simulator_scale.py`` boiled down to the
+stats that matter for trend reading (min/mean/stddev/rounds per benchmark),
+plus the machine context needed to compare like with like.
+
+Usage::
+
+    python -m pytest benchmarks/test_bench_simulator_scale.py -q \\
+        --benchmark-json=bench-simulator-scale.json
+    python benchmarks/make_trajectory.py bench-simulator-scale.json BENCH_7.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+
+def compact(raw: dict) -> dict:
+    """The trajectory view of one pytest-benchmark JSON document."""
+    machine = raw.get("machine_info", {})
+    return {
+        "source": "benchmarks/test_bench_simulator_scale.py",
+        "python": machine.get("python_version"),
+        "cpu": machine.get("cpu", {}).get("brand_raw"),
+        "benchmarks": [
+            {
+                "name": bench["name"],
+                "min_s": bench["stats"]["min"],
+                "mean_s": bench["stats"]["mean"],
+                "stddev_s": bench["stats"]["stddev"],
+                "rounds": bench["stats"]["rounds"],
+            }
+            for bench in sorted(raw.get("benchmarks", []), key=lambda b: b["name"])
+        ],
+    }
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 3:
+        print(f"usage: {argv[0]} <pytest-benchmark.json> <trajectory.json>", file=sys.stderr)
+        return 2
+    raw = json.loads(Path(argv[1]).read_text())
+    Path(argv[2]).write_text(json.dumps(compact(raw), indent=2) + "\n")
+    print(f"wrote {argv[2]} ({len(compact(raw)['benchmarks'])} benchmarks)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

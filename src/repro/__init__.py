@@ -34,6 +34,13 @@ Subpackages
     in hourly lockstep, and geo-aware job routing through an open, composable
     router registry (``round-robin``, ``least-queued``, ``carbon-min``,
     ``price-min``, ``renewable-max``, filters like ``queue-cap(max=50)``).
+``repro.serve``
+    The long-running simulation service: a ``greenhpc serve`` HTTP daemon
+    holding warm simulated worlds, with mid-run job submission, bounded
+    ``advance`` requests, NDJSON per-tick telemetry streaming, what-if
+    routing queries across live sessions, and periodic checkpoint/restore
+    built on the simulator's versioned
+    :class:`~repro.cluster.simulator.SimulatorSnapshot`.
 
 Quick start
 -----------
@@ -100,6 +107,21 @@ member-site totals bit-for-bit::
     greenhpc sweep --experiments fleet \\
         --grid "router=round-robin,carbon-min,renewable-max"
 
+Serving
+-------
+Everything above is batch: build a world, run it, exit.  :mod:`repro.serve`
+keeps worlds *warm* instead — ``greenhpc serve`` starts a daemon that holds
+any number of live :class:`~repro.cluster.simulator.ClusterSimulator`
+sessions (concurrent sessions over the same scenario share one cached
+substrate build), accepts job submissions and ``advance-to`` requests over a
+JSON/HTTP API, streams per-tick power telemetry as NDJSON, answers what-if
+routing queries with the fleet's router grammar, and checkpoints every
+session's exact simulator state to disk so month-long co-simulations survive
+a restart bit-identically::
+
+    greenhpc serve --port 8714 --checkpoint-dir ./ckpt
+    python examples/serve_client.py      # submit, stream, kill, restore
+
 The legacy :class:`GreenDatacenterModel` facade remains as a thin shim over
 the session API.
 """
@@ -122,7 +144,33 @@ from .experiments import (
 from .fleet import FleetResult, FleetSimulator, FleetSpec, get_fleet, list_fleets
 from .timeutils import SimulationCalendar
 
-__version__ = "1.1.0"
+def _detect_version() -> str:
+    """The package version, from installed metadata or the source checkout.
+
+    ``pyproject.toml`` is the single authority: installed distributions
+    expose it through ``importlib.metadata``; a source checkout run via
+    ``PYTHONPATH=src`` falls back to parsing the file two levels up.
+    """
+    from importlib import metadata
+
+    try:
+        return metadata.version("repro-greenhpc")
+    except metadata.PackageNotFoundError:
+        pass
+    import pathlib
+    import re
+
+    pyproject = pathlib.Path(__file__).resolve().parent.parent.parent / "pyproject.toml"
+    try:
+        match = re.search(
+            r"^version\s*=\s*\"([^\"]+)\"", pyproject.read_text(), re.MULTILINE
+        )
+    except OSError:
+        match = None
+    return match.group(1) if match else "0+unknown"
+
+
+__version__ = _detect_version()
 
 #: Citation of the reproduced paper.
 PAPER_REFERENCE = (

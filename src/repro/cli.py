@@ -178,6 +178,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="greenhpc",
         description="Reproduction toolkit for 'A Green(er) World for A.I.' (IPDPSW 2022).",
     )
+    from . import __version__
+
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
     _add_shared_arguments(parser, in_subcommand=False)
     subparsers = parser.add_subparsers(dest="command", required=True)
     for definition in list_experiments():
@@ -223,6 +228,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="list registered scheduling policies and pipeline stages (the spec grammar)",
     )
     _add_shared_arguments(policies, in_subcommand=True)
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the long-running simulation daemon (warm sessions over JSON/HTTP)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8714, help="bind port (0 picks an ephemeral port)"
+    )
+    serve.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help=(
+            "directory for periodic/shutdown checkpoints; a restarting daemon "
+            "pointed here restores every session (omit to disable checkpointing)"
+        ),
+    )
+    serve.add_argument(
+        "--checkpoint-every-h",
+        type=float,
+        default=24.0,
+        help="simulated hours between automatic checkpoints during advance requests",
+    )
+    serve.add_argument(
+        "--request-timeout-s",
+        type=float,
+        default=30.0,
+        help="per-request socket timeout and default advance wall-clock bound",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request to stderr"
+    )
     return parser
 
 
@@ -400,6 +436,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     try:
         if args.command == "policies":
             return _run_policies(args)
+        if args.command == "serve":
+            # Like "policies", serve takes no scenario: sessions carry their own.
+            from .serve.daemon import run_serve
+
+            return run_serve(args)
         spec = get_scenario(args.scenario)
         overrides: dict[str, object] = {}
         if args.seed is not None:

@@ -31,7 +31,7 @@ simulator and the scheduler packages can depend on it without cycles.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..scheduler.base import ScheduleDecision, SchedulingContext
@@ -68,3 +68,31 @@ class SimulatorObserver:
 
     def on_tick(self, simulator: "ClusterSimulator", now_h: float, it_power_w: float) -> None:
         """The recording tick fired; ``it_power_w`` is the sample just taken."""
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore (checkpointing support)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Any:
+        """JSON-able run-time state for checkpointing (``None`` = stateless).
+
+        Observers that carry state *across* scheduling rounds (e.g. the
+        adaptive power-cap stage's per-job cap fractions) must override this
+        pair so a restored run continues bit-identically; the default
+        declares the observer stateless.
+        """
+        return None
+
+    def restore_state(self, state: Any) -> None:
+        """Restore state captured by :meth:`snapshot_state`.
+
+        The default accepts only ``None``; receiving anything else means a
+        checkpoint carrying observer state was restored onto an observer
+        that does not implement the protocol.
+        """
+        if state is not None:
+            from ..errors import CheckpointError
+
+            raise CheckpointError(
+                f"observer {type(self).__name__} received checkpoint state "
+                f"but does not implement restore_state()"
+            )

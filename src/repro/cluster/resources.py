@@ -48,7 +48,7 @@ from typing import Iterable, Optional
 import numpy as np
 
 from ..config import FacilityConfig
-from ..errors import ResourceError
+from ..errors import CheckpointError, ResourceError
 from ..telemetry.gpu_power import GpuPowerModel, GpuSpec, get_gpu_spec
 
 __all__ = ["GpuResource", "NodeState", "Node", "Allocation", "Cluster"]
@@ -527,6 +527,103 @@ class Cluster:
     def iter_gpus(self) -> Iterable[GpuResource]:
         """Iterate over every GPU in the cluster."""
         return itertools.chain.from_iterable(node.gpus for node in self.nodes)
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore (checkpointing support)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """A JSON-able dict of the pool's dynamic state.
+
+        Captures the live allocations (locations, utilization, cap and the
+        delta-maintained per-GPU power), the drained-node set, and the
+        accumulated ``busy_power_w`` total.  The accumulated float is stored
+        verbatim — recomputing it as a fresh sum on restore could differ in
+        the last ulp from the incrementally-maintained original, breaking
+        bit-identical continuation.
+
+        Raises :class:`~repro.errors.CheckpointError` when per-GPU state was
+        mutated out-of-band through the view objects (``_power_dirty``): such
+        state is no longer job-uniform and cannot be represented per
+        allocation.
+        """
+        if self._power_dirty:
+            raise CheckpointError(
+                "cluster state was mutated directly through GPU views; "
+                "per-allocation snapshotting requires job-uniform state"
+            )
+        allocations = []
+        for job_id, allocation in self._allocations.items():
+            first_node, first_index = allocation.gpu_locations[0]
+            cap = self._power_cap_w[first_node, first_index]
+            allocations.append(
+                {
+                    "job_id": job_id,
+                    "locations": [list(loc) for loc in allocation.gpu_locations],
+                    "utilization": float(self._utilization[first_node, first_index]),
+                    "power_limit_w": None if np.isnan(cap) else float(cap),
+                    "per_gpu_power_w": self._job_power_w[job_id],
+                }
+            )
+        return {
+            "n_nodes": self._n_nodes,
+            "gpus_per_node": self._gpus_per_node,
+            "gpu_model": self.gpu_spec.name,
+            "drained": [int(node_id) for node_id in np.flatnonzero(self._drained)],
+            "allocations": allocations,
+            "busy_power_w": self._busy_power_w,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Reset the pool to the state captured by :meth:`snapshot_state`.
+
+        The cluster must have been constructed with the same facility shape
+        and GPU model; all current allocations are discarded.
+        """
+        if (
+            int(state["n_nodes"]) != self._n_nodes
+            or int(state["gpus_per_node"]) != self._gpus_per_node
+        ):
+            raise CheckpointError(
+                f"cluster shape mismatch: snapshot is {state['n_nodes']}x"
+                f"{state['gpus_per_node']}, cluster is {self._n_nodes}x{self._gpus_per_node}"
+            )
+        if state["gpu_model"] != self.gpu_spec.name:
+            raise CheckpointError(
+                f"GPU model mismatch: snapshot has {state['gpu_model']!r}, "
+                f"cluster has {self.gpu_spec.name!r}"
+            )
+        n_nodes, gpus_per_node = self._n_nodes, self._gpus_per_node
+        self._allocated[:] = False
+        self._utilization[:] = 0.0
+        self._power_cap_w[:] = np.nan
+        self._job_ids = [[None] * gpus_per_node for _ in range(n_nodes)]
+        self._node_free[:] = gpus_per_node
+        self._drained[:] = False
+        self._drained[[int(i) for i in state["drained"]]] = True
+        self._allocations = {}
+        self._job_power_w = {}
+        self._power_dirty = False
+        for entry in state["allocations"]:
+            job_id = entry["job_id"]
+            locations = tuple((int(n), int(i)) for n, i in entry["locations"])
+            cap = entry["power_limit_w"]
+            cap_value = np.nan if cap is None else float(cap)
+            utilization = float(entry["utilization"])
+            for node_id, index in locations:
+                self._allocated[node_id, index] = True
+                self._utilization[node_id, index] = utilization
+                self._power_cap_w[node_id, index] = cap_value
+                self._job_ids[node_id][index] = job_id
+                self._node_free[node_id] -= 1
+            self._allocations[job_id] = Allocation(job_id=job_id, gpu_locations=locations)
+            self._job_power_w[job_id] = float(entry["per_gpu_power_w"])
+        # Derived counters, then the accumulated power total verbatim.
+        self._busy_gpus = int(np.count_nonzero(self._allocated))
+        self._n_occupied = int(np.count_nonzero(self._node_free < gpus_per_node))
+        self._n_drained = int(np.count_nonzero(self._drained))
+        self._free_gpus_nondrained = int(self._node_free[~self._drained].sum())
+        self._busy_power_w = float(state["busy_power_w"])
+        # The Node views hold direct array references; nothing to rebuild.
 
     # ------------------------------------------------------------------
     # Direct per-GPU writes (view setters route through here)

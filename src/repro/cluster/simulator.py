@@ -54,12 +54,12 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..config import FacilityConfig, require_positive
-from ..errors import SimulationError
+from ..errors import CheckpointError, SimulationError, SteppingError
 from ..grid.iso_ne import IsoNeLikeGrid
 from ..scheduler.base import ScheduleDecision, Scheduler, SchedulingContext
 from ..scheduler.job import Job, JobState
 from .cooling import CoolingModel
-from .events import EventQueue, EventType
+from .events import Event, EventQueue, EventType
 from .observers import SimulatorObserver
 from .resources import Cluster
 
@@ -68,9 +68,16 @@ __all__ = [
     "JobRecord",
     "SimulationResult",
     "SitePowerSummary",
+    "SimulatorSnapshot",
+    "SNAPSHOT_VERSION",
     "ClusterSimulator",
     "SimulatorObserver",
 ]
+
+#: Version of the simulator snapshot payload format.  Bumped on any change to
+#: the layout produced by :meth:`ClusterSimulator.snapshot`; restore refuses
+#: payloads from a different version instead of mis-reading them.
+SNAPSHOT_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -294,6 +301,58 @@ class SitePowerSummary:
         return float(np.max(self.facility_power_w))
 
 
+@dataclass(frozen=True)
+class SimulatorSnapshot:
+    """A versioned, JSON-able capture of a mid-run simulator's dynamic state.
+
+    Produced by :meth:`ClusterSimulator.snapshot` and consumed by
+    :meth:`ClusterSimulator.restore`.  The snapshot holds only *dynamic*
+    state — the event queue, job table, pending/running sets, tick series,
+    cluster allocations and observer state; the static substrates (weather,
+    cooling, grid, scheduler) are rebuilt deterministically from the scenario
+    spec by the caller, which keeps checkpoints small and lets the service
+    share cached substrates across restored sessions.
+
+    Restoring at hour H and advancing to the horizon is **bit-identical** to
+    the uninterrupted run: accumulated floats (IT power totals) are stored
+    verbatim rather than recomputed, job floats round-trip exactly through
+    JSON, and event-queue tie-breaking sequence numbers are preserved.
+    """
+
+    version: int
+    scheduler_name: str
+    now_h: float
+    state: dict
+
+    def to_jsonable(self) -> dict:
+        """A plain-dict form safe for ``json.dumps`` (and bit-exact back)."""
+        return {
+            "version": self.version,
+            "scheduler_name": self.scheduler_name,
+            "now_h": self.now_h,
+            "state": self.state,
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "SimulatorSnapshot":
+        """Rebuild a snapshot from :meth:`to_jsonable` output, checking the version."""
+        try:
+            version = int(data["version"])
+        except (KeyError, TypeError, ValueError):
+            raise CheckpointError("snapshot payload has no usable 'version' field") from None
+        if version != SNAPSHOT_VERSION:
+            raise CheckpointError(
+                f"snapshot version {version} is not supported "
+                f"(this build reads version {SNAPSHOT_VERSION})"
+            )
+        return cls(
+            version=version,
+            scheduler_name=data["scheduler_name"],
+            now_h=float(data["now_h"]),
+            state=data["state"],
+        )
+
+
 class ClusterSimulator:
     """Runs a job trace through a scheduling policy on a simulated cluster.
 
@@ -390,6 +449,7 @@ class ClusterSimulator:
         self._current_it_power_w = self.cluster.it_power_w()
         self._begun = False
         self._finalized = False
+        self._advanced_to = 0.0
         self._tick_times: list[float] = []
         self._tick_it_power: list[float] = []
         self._power_summary: Optional[SitePowerSummary] = None
@@ -589,7 +649,7 @@ class ClusterSimulator:
         between lockstepped sites.
         """
         if self._begun:
-            raise SimulationError("begin() called twice on the same simulator")
+            raise SteppingError("begin() called twice on the same simulator")
         self._begun = True
         for job in jobs:
             self.submit(job)
@@ -606,9 +666,17 @@ class ClusterSimulator:
         submission (call) order, exactly as a monolithic :meth:`run` would.
         """
         if not self._begun:
-            raise SimulationError("submit() before begin()")
+            raise SteppingError(
+                "submit() before begin(): call begin() once to start the run, "
+                "then feed jobs in with submit()"
+            )
         if self._finalized:
-            raise SimulationError("submit() after finalize()")
+            raise SteppingError("submit() after finalize(): the run is already over")
+        if job.submit_time_h < self._events.now_h - 1e-9:
+            raise SteppingError(
+                f"submit() of job {job.job_id!r} at t={job.submit_time_h}h lies in the "
+                f"simulator's past (events were processed up to t={self._events.now_h}h)"
+            )
         if job.job_id in self._seen_ids:
             raise SimulationError(f"duplicate job id {job.job_id!r} in trace")
         if job.state is not JobState.PENDING:
@@ -628,7 +696,16 @@ class ClusterSimulator:
         of a monolithic run.
         """
         if not self._begun:
-            raise SimulationError("advance() before begin()")
+            raise SteppingError("advance() before begin(): call begin() first")
+        if self._finalized:
+            raise SteppingError("advance() after finalize(): the run is already over")
+        if until_h < self._advanced_to - 1e-9:
+            raise SteppingError(
+                f"advance() to t={until_h}h is behind the cursor: the run has "
+                f"already advanced to t={self._advanced_to}h (time only moves forward; "
+                f"re-advancing to the same bound is a harmless no-op)"
+            )
+        self._advanced_to = max(self._advanced_to, float(until_h))
         self._drain(min(until_h - 1e-9, self.config.horizon_h + 1e-9))
 
     def _drain(self, limit_h: float) -> None:
@@ -686,9 +763,9 @@ class ClusterSimulator:
     def finalize(self) -> SimulationResult:
         """Drain to the horizon, cut off still-running jobs, build the result."""
         if not self._begun:
-            raise SimulationError("finalize() before begin()")
+            raise SteppingError("finalize() before begin(): there is no run to finalize")
         if self._finalized:
-            raise SimulationError("finalize() called twice on the same simulator")
+            raise SteppingError("finalize() called twice on the same simulator")
         config = self.config
         self._drain(config.horizon_h + 1e-9)
         self._finalized = True
@@ -731,6 +808,149 @@ class ClusterSimulator:
         """Simulate the given job trace and return the run's results."""
         self.begin(jobs)
         return self.finalize()
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore (checkpointing support)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> SimulatorSnapshot:
+        """Capture the run's full dynamic state as a :class:`SimulatorSnapshot`.
+
+        Valid any time between :meth:`begin` and :meth:`finalize` (typically
+        at an hour boundary after :meth:`advance` returns).  Restoring the
+        snapshot onto a freshly constructed simulator with the same
+        substrates, config and scheduling policy, then advancing to the
+        horizon, yields job records bit-identical to the uninterrupted run.
+
+        Events are stored with their payloads reduced to job ids (the job
+        table carries the objects); observers contribute their own state via
+        :meth:`~repro.cluster.observers.SimulatorObserver.snapshot_state`.
+        """
+        if not self._begun:
+            raise SteppingError("snapshot() before begin(): there is no run to capture")
+        if self._finalized:
+            raise SteppingError("snapshot() after finalize(): the run is already over")
+        events = []
+        for event in self._events.pending_events():
+            payload = event.payload
+            if event.event_type is EventType.JOB_SUBMIT:
+                payload = payload.job_id
+            elif payload is not None and not isinstance(payload, str):
+                raise CheckpointError(
+                    f"cannot snapshot {event.event_type.name} event with non-string "
+                    f"payload {payload!r}"
+                )
+            events.append(
+                [event.time_h, int(event.event_type), event.sequence, payload]
+            )
+        config = self.config
+        state = {
+            "config": {
+                "horizon_h": config.horizon_h,
+                "tick_h": config.tick_h,
+                "facility_power_budget_w": config.facility_power_budget_w,
+                "carbon_threshold_quantile": config.carbon_threshold_quantile,
+            },
+            "now_h": self._events.now_h,
+            "advanced_to": self._advanced_to,
+            "next_sequence": self._events.next_sequence,
+            "events": events,
+            "jobs": [job.to_snapshot() for job in self._all_jobs],
+            "pending": [job.job_id for job in self._pending],
+            "running": list(self._running),
+            "tick_times": list(self._tick_times),
+            "tick_it_power": list(self._tick_it_power),
+            "current_it_power_w": self._current_it_power_w,
+            "cluster": self.cluster.snapshot_state(),
+            "observers": [observer.snapshot_state() for observer in self._observers],
+        }
+        return SimulatorSnapshot(
+            version=SNAPSHOT_VERSION,
+            scheduler_name=self.scheduler.name,
+            now_h=self._events.now_h,
+            state=state,
+        )
+
+    def restore(self, snapshot: SimulatorSnapshot) -> None:
+        """Adopt a snapshot's dynamic state on this freshly constructed simulator.
+
+        The simulator must have been built with the same substrates (weather,
+        cooling, grid), configuration and scheduling policy as the one that
+        produced the snapshot, and must not have :meth:`begin`\\ -ed yet —
+        :meth:`restore` *is* its begin.  After restoring, continue with
+        :meth:`submit`/:meth:`advance`/:meth:`finalize` as usual.
+        """
+        if self._begun:
+            raise SteppingError(
+                "restore() on a simulator that already began a run; "
+                "construct a fresh simulator to restore into"
+            )
+        if snapshot.version != SNAPSHOT_VERSION:
+            raise CheckpointError(
+                f"snapshot version {snapshot.version} is not supported "
+                f"(this build reads version {SNAPSHOT_VERSION})"
+            )
+        if snapshot.scheduler_name != self.scheduler.name:
+            raise CheckpointError(
+                f"scheduler mismatch: snapshot was taken under "
+                f"{snapshot.scheduler_name!r}, this simulator runs {self.scheduler.name!r}"
+            )
+        state = snapshot.state
+        config = self.config
+        saved = state["config"]
+        for field_name in (
+            "horizon_h",
+            "tick_h",
+            "facility_power_budget_w",
+            "carbon_threshold_quantile",
+        ):
+            if getattr(config, field_name) != saved[field_name]:
+                raise CheckpointError(
+                    f"config mismatch on {field_name!r}: snapshot has "
+                    f"{saved[field_name]!r}, simulator has {getattr(config, field_name)!r}"
+                )
+        observer_states = state["observers"]
+        if len(observer_states) != len(self._observers):
+            raise CheckpointError(
+                f"observer count mismatch: snapshot carries {len(observer_states)} "
+                f"observer states, simulator has {len(self._observers)} observers"
+            )
+
+        jobs_by_id: dict[str, Job] = {}
+        all_jobs: list[Job] = []
+        for data in state["jobs"]:
+            job = Job.from_snapshot(data)
+            jobs_by_id[job.job_id] = job
+            all_jobs.append(job)
+        events: list[Event] = []
+        for time_h, type_value, sequence, payload in state["events"]:
+            event_type = EventType(type_value)
+            if event_type is EventType.JOB_SUBMIT:
+                payload = jobs_by_id[payload]
+            events.append(
+                Event(
+                    time_h=float(time_h),
+                    priority=int(event_type),
+                    sequence=int(sequence),
+                    event_type=event_type,
+                    payload=payload,
+                )
+            )
+
+        self.cluster.restore_state(state["cluster"])
+        self._events.restore(events, float(state["now_h"]), int(state["next_sequence"]))
+        self._all_jobs = all_jobs
+        self._seen_ids = set(jobs_by_id)
+        self._pending = [jobs_by_id[job_id] for job_id in state["pending"]]
+        self._running = {job_id: jobs_by_id[job_id] for job_id in state["running"]}
+        self._tick_times = [float(t) for t in state["tick_times"]]
+        self._tick_it_power = [float(p) for p in state["tick_it_power"]]
+        self._current_it_power_w = float(state["current_it_power_w"])
+        self._advanced_to = float(state["advanced_to"])
+        self._begun = True
+        self._finalized = False
+        self._power_summary = None
+        for observer, observer_state in zip(self._observers, observer_states):
+            observer.restore_state(observer_state)
 
     @staticmethod
     def _record_for(job: Job) -> JobRecord:

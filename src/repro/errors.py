@@ -12,8 +12,11 @@ __all__ = [
     "ConfigurationError",
     "UnitError",
     "SimulationError",
+    "SteppingError",
     "SchedulingError",
     "FleetError",
+    "ServeError",
+    "CheckpointError",
     "ResourceError",
     "TelemetryError",
     "TrackingError",
@@ -45,12 +48,31 @@ class SimulationError(GreenHPCError, RuntimeError):
     """Raised when the discrete-event cluster simulation reaches an invalid state."""
 
 
+class SteppingError(SimulationError):
+    """Raised on misuse of the simulator's stepping API.
+
+    Covers ``begin()`` twice, ``submit()``/``advance()``/``finalize()``
+    outside the ``begin -> [submit/advance]* -> finalize`` protocol, and
+    ``advance()`` to a time behind the cursor.  Subclasses
+    :class:`SimulationError` so existing callers that catch the general
+    simulation failure keep working.
+    """
+
+
 class SchedulingError(GreenHPCError, RuntimeError):
     """Raised when a scheduler cannot produce a valid placement or violates invariants."""
 
 
 class FleetError(GreenHPCError, RuntimeError):
     """Raised by the multi-site fleet co-simulation (routing and lockstep invariants)."""
+
+
+class ServeError(GreenHPCError, RuntimeError):
+    """Raised by the long-running simulation service (unknown sessions, bad requests)."""
+
+
+class CheckpointError(GreenHPCError, RuntimeError):
+    """Raised when simulator state cannot be snapshotted, serialized or restored."""
 
 
 class ResourceError(GreenHPCError, RuntimeError):

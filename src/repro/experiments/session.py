@@ -14,6 +14,7 @@ same way.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Iterable, Mapping, Optional, Sequence, Union
 
 import numpy as np
@@ -83,6 +84,23 @@ class ExperimentSession:
         self._job_traces: dict[tuple[ScenarioSpec, int, float], list[Job]] = {}
         #: Number of scenario substrate builds performed (cache misses).
         self.scenario_builds: int = 0
+        # Build-once guard: concurrent daemon sessions share one session per
+        # distinct spec, so cache fills must be serialized (reentrant — a
+        # build may consult the cache again through nested calls).
+        self._cache_lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    # Pickling (process-pool workers): locks don't cross process
+    # boundaries, so the guard is dropped and recreated on unpickle.
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict[str, Any]:
+        state = self.__dict__.copy()
+        del state["_cache_lock"]
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._cache_lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Spec and substrates
@@ -107,17 +125,20 @@ class ExperimentSession:
         spec = spec or self._spec
         scenario = self._scenarios.get(spec)
         if scenario is None:
-            scenario = SuperCloudScenario.build(
-                seed=spec.seed,
-                start_year=spec.start_year,
-                n_months=spec.n_months,
-                site=spec.site,
-                trace_config=spec.trace_config(),
-                fuel_config=spec.grid.fuel,
-                price_config=spec.grid.price,
-            )
-            self._scenarios[spec] = scenario
-            self.scenario_builds += 1
+            with self._cache_lock:
+                scenario = self._scenarios.get(spec)
+                if scenario is None:  # double-checked: lost the race = reuse
+                    scenario = SuperCloudScenario.build(
+                        seed=spec.seed,
+                        start_year=spec.start_year,
+                        n_months=spec.n_months,
+                        site=spec.site,
+                        trace_config=spec.trace_config(),
+                        fuel_config=spec.grid.fuel,
+                        price_config=spec.grid.price,
+                    )
+                    self._scenarios[spec] = scenario
+                    self.scenario_builds += 1
         return scenario
 
     @property
@@ -146,13 +167,16 @@ class ExperimentSession:
         key = (spec, int(n_jobs), float(horizon_h))
         trace = self._job_traces.get(key)
         if trace is None:
-            generator = SuperCloudTraceGenerator(
-                spec.trace_config(),
-                demand_model=DeadlineDemandModel(seed=spec.seed),
-                seed=spec.seed,
-            )
-            trace = generator.generate_jobs(n_jobs=n_jobs, horizon_h=horizon_h)
-            self._job_traces[key] = trace
+            with self._cache_lock:
+                trace = self._job_traces.get(key)
+                if trace is None:
+                    generator = SuperCloudTraceGenerator(
+                        spec.trace_config(),
+                        demand_model=DeadlineDemandModel(seed=spec.seed),
+                        seed=spec.seed,
+                    )
+                    trace = generator.generate_jobs(n_jobs=n_jobs, horizon_h=horizon_h)
+                    self._job_traces[key] = trace
         return trace
 
     # ------------------------------------------------------------------

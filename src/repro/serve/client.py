@@ -1,0 +1,163 @@
+"""A pure-stdlib client for the ``greenhpc serve`` daemon.
+
+Thin ``urllib`` wrappers over the JSON API — one method per endpoint plus a
+generator over the NDJSON telemetry stream.  Error responses
+(``{"error": ...}``) surface as :class:`~repro.errors.ServeError`, so client
+code handles daemon-side validation failures the same way it handles local
+ones.
+
+>>> client = ServeClient("http://127.0.0.1:8714")   # doctest: +SKIP
+>>> s = client.create_session(scenario="default", policy="backfill",
+...                           preload_jobs=50)      # doctest: +SKIP
+>>> client.advance(s["session_id"], until_h=24.0)   # doctest: +SKIP
+>>> for row in client.stream_telemetry(s["session_id"]):  # doctest: +SKIP
+...     print(row["now_h"], row["facility_power_w"])
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterator, Optional, Sequence
+from urllib import error as urlerror
+from urllib import request as urlrequest
+from urllib.parse import urlencode
+
+from ..errors import ServeError
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """Talks to one ``greenhpc serve`` daemon at ``base_url``."""
+
+    def __init__(self, base_url: str, *, timeout_s: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = float(timeout_s)
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+        *,
+        timeout_s: Optional[float] = None,
+    ) -> Any:
+        data = None if body is None else json.dumps(body).encode()
+        req = urlrequest.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urlrequest.urlopen(req, timeout=timeout_s or self.timeout_s) as resp:
+                return json.loads(resp.read())
+        except urlerror.HTTPError as exc:
+            raise ServeError(self._error_message(exc)) from None
+        except urlerror.URLError as exc:
+            raise ServeError(f"cannot reach daemon at {self.base_url}: {exc.reason}") from None
+
+    @staticmethod
+    def _error_message(exc: urlerror.HTTPError) -> str:
+        try:
+            payload = json.loads(exc.read())
+            return f"{exc.code}: {payload['error']}"
+        except (ValueError, KeyError, OSError):
+            return f"{exc.code}: {exc.reason}"
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        """Daemon liveness, session/world counts, restored-session ids."""
+        return self._request("GET", "/health")
+
+    def version(self) -> dict:
+        """The daemon's package version."""
+        return self._request("GET", "/version")
+
+    def create_session(self, **params: Any) -> dict:
+        """Create a session; keyword args mirror the POST /sessions body."""
+        return self._request("POST", "/sessions", params)
+
+    def list_sessions(self) -> list[dict]:
+        """Status dicts of every live session."""
+        return self._request("GET", "/sessions")["sessions"]
+
+    def session_status(self, session_id: str) -> dict:
+        """One session's live status."""
+        return self._request("GET", f"/sessions/{session_id}")
+
+    def delete_session(self, session_id: str) -> dict:
+        """Drop a session from the daemon (checkpoints stay on disk)."""
+        return self._request("DELETE", f"/sessions/{session_id}")
+
+    def submit_jobs(self, session_id: str, jobs: Sequence[dict]) -> dict:
+        """Submit job dicts into a running session."""
+        return self._request("POST", f"/sessions/{session_id}/jobs", {"jobs": list(jobs)})
+
+    def advance(
+        self, session_id: str, until_h: float, *, deadline_s: Optional[float] = None
+    ) -> dict:
+        """Advance the session to ``until_h``; the reply carries ``timed_out``."""
+        body: dict[str, Any] = {"until_h": until_h}
+        if deadline_s is not None:
+            body["deadline_s"] = deadline_s
+        timeout = None if deadline_s is None else deadline_s + self.timeout_s
+        return self._request(
+            "POST", f"/sessions/{session_id}/advance", body, timeout_s=timeout
+        )
+
+    def checkpoint(self, session_id: str) -> dict:
+        """Checkpoint the session now; returns the file path written."""
+        return self._request("POST", f"/sessions/{session_id}/checkpoint", {})
+
+    def finalize(self, session_id: str) -> dict:
+        """Finalize the session's run; returns the result summary."""
+        return self._request("POST", f"/sessions/{session_id}/finalize", {})
+
+    def route(
+        self,
+        job: dict,
+        *,
+        router: str = "round-robin",
+        sessions: Optional[Sequence[str]] = None,
+    ) -> dict:
+        """What-if: which live session would ``router`` send this job to?"""
+        body: dict[str, Any] = {"job": job, "router": router}
+        if sessions is not None:
+            body["sessions"] = list(sessions)
+        return self._request("POST", "/route", body)
+
+    def stream_telemetry(
+        self,
+        session_id: str,
+        *,
+        since: int = 0,
+        follow: bool = False,
+        max_wait_s: float = 10.0,
+    ) -> Iterator[dict]:
+        """Yield tick rows from the NDJSON stream, starting at row ``since``.
+
+        With ``follow=True`` the daemon holds the connection open waiting for
+        new rows (up to ``max_wait_s`` of idleness); resume an interrupted
+        stream by passing the last row count as ``since``.
+        """
+        query = urlencode(
+            {"since": since, "follow": int(follow), "max_wait_s": max_wait_s}
+        )
+        url = f"{self.base_url}/sessions/{session_id}/telemetry?{query}"
+        timeout = self.timeout_s + (max_wait_s if follow else 0.0)
+        try:
+            with urlrequest.urlopen(url, timeout=timeout) as resp:
+                for line in resp:
+                    line = line.strip()
+                    if line:
+                        yield json.loads(line)
+        except urlerror.HTTPError as exc:
+            raise ServeError(self._error_message(exc)) from None
+        except urlerror.URLError as exc:
+            raise ServeError(f"cannot reach daemon at {self.base_url}: {exc.reason}") from None

@@ -1,0 +1,365 @@
+"""The ``greenhpc serve`` HTTP daemon.
+
+A :class:`~http.server.ThreadingHTTPServer` (stdlib only — the service adds
+no dependencies) exposing warm simulation sessions over a small JSON API:
+
+====== =================================== ======================================
+Method Path                                Meaning
+====== =================================== ======================================
+GET    ``/health``                         liveness + session/world counts
+GET    ``/version``                        package version
+POST   ``/sessions``                       create a session (scenario, policy, …)
+GET    ``/sessions``                       list live sessions
+GET    ``/sessions/{id}``                  one session's status
+DELETE ``/sessions/{id}``                  drop a session
+POST   ``/sessions/{id}/jobs``             submit jobs mid-run
+POST   ``/sessions/{id}/advance``          advance to ``until_h`` (deadline-bounded)
+POST   ``/sessions/{id}/checkpoint``       checkpoint now
+POST   ``/sessions/{id}/finalize``         finalize; returns the run summary
+GET    ``/sessions/{id}/telemetry``        NDJSON tick stream (``since``, ``follow``)
+POST   ``/route``                          what-if routing across live sessions
+====== =================================== ======================================
+
+Error mapping: :class:`~repro.serve.session.UnknownSessionError` → 404, any
+other :class:`~repro.errors.GreenHPCError` → 400, everything else → 500 with
+the exception text in ``{"error": ...}``.
+
+Robustness: every session is checkpointed periodically during ``advance``
+and on SIGTERM/SIGINT (graceful drain), and a restarting daemon pointed at
+the same ``--checkpoint-dir`` restores every session before accepting
+requests — the kill-and-restart path the CI smoke exercises.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Optional
+from urllib.parse import parse_qs, urlsplit
+
+from ..errors import GreenHPCError, ServeError
+from .checkpoint import CheckpointStore
+from .session import SessionManager, UnknownSessionError
+
+__all__ = ["ServeDaemon", "run_serve"]
+
+_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class _JsonHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto the daemon's session manager."""
+
+    protocol_version = "HTTP/1.1"
+    daemon: "ServeDaemon"  # set on the handler class per server
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def log_message(self, format: str, *args: Any) -> None:
+        if self.daemon.verbose:
+            super().log_message(format, *args)
+
+    def setup(self) -> None:
+        super().setup()
+        # A stuck client must not pin a handler thread forever.
+        self.connection.settimeout(self.daemon.request_timeout_s)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > _MAX_BODY_BYTES:
+            raise ServeError(f"request body exceeds {_MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            body = json.loads(raw)
+        except ValueError as exc:
+            raise ServeError(f"request body is not valid JSON: {exc}") from None
+        if not isinstance(body, dict):
+            raise ServeError("request body must be a JSON object")
+        return body
+
+    def _send_json(self, payload: Any, status: int = 200) -> None:
+        encoded = json.dumps(payload).encode() + b"\n"
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(encoded)))
+        self.end_headers()
+        self.wfile.write(encoded)
+
+    def _dispatch(self, method: str) -> None:
+        parts = urlsplit(self.path)
+        segments = [segment for segment in parts.path.split("/") if segment]
+        query = {key: values[-1] for key, values in parse_qs(parts.query).items()}
+        try:
+            handled = self.daemon.handle(self, method, segments, query)
+        except UnknownSessionError as exc:
+            self._send_json({"error": str(exc)}, status=404)
+        except GreenHPCError as exc:
+            self._send_json({"error": str(exc)}, status=400)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-response; nothing to answer
+        except Exception as exc:  # noqa: BLE001 - the daemon must not die on a request
+            self._send_json({"error": f"{type(exc).__name__}: {exc}"}, status=500)
+        else:
+            if not handled:
+                self._send_json(
+                    {"error": f"no route for {method} {parts.path}"}, status=404
+                )
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._dispatch("DELETE")
+
+
+class ServeDaemon:
+    """The long-running simulation service: session manager + HTTP front end.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; port 0 picks an ephemeral port (read :attr:`port`
+        after construction — tests and the example use this).
+    checkpoint_dir:
+        Directory for periodic/drain checkpoints.  When it already holds
+        checkpoints, every restorable session is brought back *before* the
+        server accepts requests.  ``None`` disables checkpointing.
+    checkpoint_every_h:
+        Simulated hours between automatic checkpoints while an ``advance``
+        request is in flight.
+    request_timeout_s:
+        Socket timeout per request, and the default wall-clock bound on one
+        ``advance`` request (the response says how far it got).
+    """
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_every_h: float = 24.0,
+        request_timeout_s: float = 30.0,
+        verbose: bool = False,
+    ) -> None:
+        self.manager = SessionManager()
+        self.store = None if checkpoint_dir is None else CheckpointStore(checkpoint_dir)
+        self.checkpoint_every_h = float(checkpoint_every_h)
+        self.request_timeout_s = float(request_timeout_s)
+        self.verbose = bool(verbose)
+        self.restored: list[str] = []
+        if self.store is not None:
+            self.restored = self.manager.restore_all(self.store)
+
+        handler = type("BoundHandler", (_JsonHandler,), {"daemon": self})
+        self._server = ThreadingHTTPServer((host, port), handler)
+        self._server.daemon_threads = True
+        self.host, self.port = self._server.server_address[:2]
+        self._shutdown_started = threading.Event()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def serve_forever(self) -> None:
+        """Block serving requests until :meth:`shutdown` (or a signal)."""
+        self._server.serve_forever(poll_interval=0.2)
+
+    def shutdown(self) -> None:
+        """Graceful drain: checkpoint every live session, then stop the server.
+
+        Idempotent and safe from signal context — the actual work runs on a
+        fresh thread because ``server.shutdown()`` deadlocks when called from
+        the ``serve_forever`` thread a signal handler interrupts.
+        """
+        if self._shutdown_started.is_set():
+            return
+        self._shutdown_started.set()
+
+        def _drain() -> None:
+            if self.store is not None:
+                try:
+                    self.manager.checkpoint_all(self.store)
+                except GreenHPCError:
+                    pass  # a broken session must not block the shutdown
+            self._server.shutdown()
+
+        threading.Thread(target=_drain, name="serve-drain", daemon=True).start()
+
+    def close(self) -> None:
+        """Release the listening socket (after ``serve_forever`` returns)."""
+        self._server.server_close()
+
+    def install_signal_handlers(self) -> None:
+        """Route SIGTERM/SIGINT to the graceful drain (main thread only)."""
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            signal.signal(signum, lambda _signum, _frame: self.shutdown())
+
+    # ------------------------------------------------------------------
+    # Routing table
+    # ------------------------------------------------------------------
+    def handle(
+        self,
+        request: _JsonHandler,
+        method: str,
+        segments: list[str],
+        query: dict[str, str],
+    ) -> bool:
+        """Handle one request; returns whether a route matched."""
+        if method == "GET" and segments == ["health"]:
+            request._send_json(
+                {
+                    "status": "ok",
+                    "sessions": len(self.manager.sessions()),
+                    "worlds": self.manager.n_worlds,
+                    "restored": list(self.restored),
+                    "checkpointing": self.store is not None,
+                }
+            )
+            return True
+        if method == "GET" and segments == ["version"]:
+            from .. import __version__
+
+            request._send_json({"package": "repro", "version": __version__})
+            return True
+        if segments and segments[0] == "sessions":
+            return self._handle_sessions(request, method, segments[1:], query)
+        if method == "POST" and segments == ["route"]:
+            body = request._read_json()
+            result = self.manager.route(
+                body.get("job", {}),
+                body.get("router", "round-robin"),
+                body.get("sessions"),
+            )
+            request._send_json(result)
+            return True
+        return False
+
+    def _handle_sessions(
+        self,
+        request: _JsonHandler,
+        method: str,
+        rest: list[str],
+        query: dict[str, str],
+    ) -> bool:
+        if not rest:
+            if method == "POST":
+                session = self.manager.create_session(request._read_json())
+                request._send_json(session.status(), status=201)
+                return True
+            if method == "GET":
+                request._send_json(
+                    {"sessions": [s.status() for s in self.manager.sessions()]}
+                )
+                return True
+            return False
+        session = self.manager.get(rest[0])
+        action = rest[1] if len(rest) > 1 else None
+        if action is None:
+            if method == "GET":
+                request._send_json(session.status())
+                return True
+            if method == "DELETE":
+                self.manager.remove(session.session_id)
+                request._send_json({"deleted": session.session_id})
+                return True
+            return False
+        if method == "POST" and action == "jobs":
+            body = request._read_json()
+            jobs = body.get("jobs")
+            if not isinstance(jobs, list):
+                raise ServeError("body must carry a 'jobs' list")
+            accepted = session.submit_jobs(jobs)
+            request._send_json({"accepted": accepted, **session.status()})
+            return True
+        if method == "POST" and action == "advance":
+            body = request._read_json()
+            if "until_h" not in body:
+                raise ServeError("body must carry 'until_h'")
+            status = session.advance_to(
+                float(body["until_h"]),
+                deadline_s=float(body.get("deadline_s", self.request_timeout_s)),
+                checkpoint_every_h=self.checkpoint_every_h,
+                store=self.store,
+            )
+            request._send_json(status)
+            return True
+        if method == "POST" and action == "checkpoint":
+            if self.store is None:
+                raise ServeError(
+                    "checkpointing is disabled (start the daemon with --checkpoint-dir)"
+                )
+            path = session.checkpoint(self.store)
+            request._send_json({"checkpoint": path, **session.status()})
+            return True
+        if method == "POST" and action == "finalize":
+            request._send_json({"summary": session.finalize(), **session.status()})
+            return True
+        if method == "GET" and action == "telemetry":
+            self._stream_telemetry(request, session, query)
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # NDJSON telemetry
+    # ------------------------------------------------------------------
+    def _stream_telemetry(
+        self, request: _JsonHandler, session: Any, query: dict[str, str]
+    ) -> None:
+        """Stream tick rows as NDJSON from ``since`` on; ``follow=1`` waits for more.
+
+        Rows are copied out under the session lock and written outside it, so
+        a slow reader never stalls the simulation.  The response closes the
+        connection (no chunked framing needed on HTTP/1.1).
+        """
+        cursor = int(query.get("since", 0))
+        follow = query.get("follow", "0") not in ("0", "false", "")
+        max_wait_s = min(float(query.get("max_wait_s", 10.0)), self.request_timeout_s)
+        request.send_response(200)
+        request.send_header("Content-Type", "application/x-ndjson")
+        request.send_header("Cache-Control", "no-store")
+        request.send_header("Connection", "close")
+        request.end_headers()
+        try:
+            while True:
+                rows = session.ticks_since(cursor)
+                for row in rows:
+                    request.wfile.write(json.dumps(row).encode() + b"\n")
+                cursor += len(rows)
+                if rows:
+                    request.wfile.flush()
+                if not follow or session.finalized:
+                    break
+                if not session.wait_for_ticks(cursor, max_wait_s):
+                    break  # idle long enough; let the client re-poll with ?since=
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # reader went away; the stream is resumable via ?since=
+        request.close_connection = True
+
+
+def run_serve(args: Any) -> int:
+    """CLI entry point for ``greenhpc serve`` (blocks until SIGTERM/SIGINT)."""
+    daemon = ServeDaemon(
+        host=args.host,
+        port=args.port,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every_h=args.checkpoint_every_h,
+        request_timeout_s=args.request_timeout_s,
+        verbose=bool(getattr(args, "verbose", False)),
+    )
+    daemon.install_signal_handlers()
+    # One parseable line so scripts (and the example) can discover the port.
+    print(f"greenhpc-serve listening on http://{daemon.host}:{daemon.port}", flush=True)
+    if daemon.restored:
+        print(f"restored sessions: {', '.join(daemon.restored)}", flush=True)
+    try:
+        daemon.serve_forever()
+    finally:
+        daemon.close()
+    return 0

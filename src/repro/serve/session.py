@@ -1,0 +1,641 @@
+"""Live simulation sessions and the daemon's session manager.
+
+A :class:`ServeSession` is one warm world: a mid-run
+:class:`~repro.cluster.simulator.ClusterSimulator` plus the telemetry rows
+it has streamed, guarded by a per-session lock so HTTP handler threads can
+submit jobs, advance time, stream ticks and checkpoint concurrently without
+corrupting the event loop.
+
+The :class:`SessionManager` keys shared substrate caches by scenario spec:
+two sessions over the same spec share one (thread-safe)
+:class:`~repro.experiments.ExperimentSession`, so their weather/trace/grid
+substrates are built once.  It also answers fleet-style *what-if* routing
+queries — "which of these live sessions should take this job?" — by building
+:class:`~repro.fleet.routing.SiteSnapshot`\\ s from each session's live
+queue/occupancy/grid state and running any router spec over them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+import uuid
+from typing import Any, Optional, Sequence
+
+from ..cluster.cooling import CoolingModel
+from ..cluster.observers import SimulatorObserver
+from ..cluster.resources import Cluster
+from ..cluster.simulator import (
+    ClusterSimulator,
+    SimulationConfig,
+    SimulatorSnapshot,
+)
+from ..core.levers import make_scheduler
+from ..errors import CheckpointError, ServeError
+from ..experiments.session import ExperimentSession
+from ..experiments.spec import ScenarioSpec, get_scenario, get_site
+from ..fleet.routing import SiteSnapshot, make_router
+from ..scheduler.job import Job
+from .checkpoint import CHECKPOINT_FORMAT_VERSION, CheckpointStore
+
+__all__ = [
+    "UnknownSessionError",
+    "TelemetryObserver",
+    "ServeSession",
+    "SessionManager",
+]
+
+#: Job fields a client may set when submitting over the API; everything else
+#: (runtime state) is owned by the simulator.
+_JOB_FIELDS = (
+    "job_id",
+    "user_id",
+    "n_gpus",
+    "duration_h",
+    "submit_time_h",
+    "utilization",
+    "priority",
+    "deadline_h",
+    "deferrable",
+    "max_defer_h",
+    "queue_name",
+    "power_cap_fraction",
+    "tags",
+)
+_REQUIRED_JOB_FIELDS = ("job_id", "user_id", "n_gpus", "duration_h", "submit_time_h")
+
+
+class UnknownSessionError(ServeError):
+    """Raised when a request addresses a session id the daemon does not hold."""
+
+
+def _spec_hash(spec: ScenarioSpec) -> str:
+    """A short stable digest of a scenario spec (the substrate-sharing key)."""
+    return hashlib.sha256(repr(spec).encode()).hexdigest()[:16]
+
+
+def resolve_spec(scenario: str, overrides: dict[str, Any]) -> ScenarioSpec:
+    """A registered scenario name plus simple overrides -> a concrete spec.
+
+    Only the scalar overrides a checkpoint can faithfully replay are
+    accepted (``seed``, ``start_year``, ``n_months``, and a registered
+    ``site`` name) — the same surface the CLI's shared flags expose.
+    """
+    spec = get_scenario(scenario)
+    changes: dict[str, Any] = {}
+    for field_name in ("seed", "start_year", "n_months"):
+        if overrides.get(field_name) is not None:
+            changes[field_name] = int(overrides[field_name])
+    if overrides.get("site") is not None:
+        changes["site"] = get_site(overrides["site"])
+    unknown = set(overrides) - {"seed", "start_year", "n_months", "site"}
+    if unknown:
+        raise ServeError(
+            f"unsupported scenario overrides {sorted(unknown)}; "
+            f"supported: seed, start_year, n_months, site"
+        )
+    return spec.replace(**changes) if changes else spec
+
+
+class TelemetryObserver(SimulatorObserver):
+    """Feeds every recording tick into the owning session's stream buffer.
+
+    Stateless by design (the rows live on the session and ride along in the
+    service checkpoint), so the base class's null snapshot protocol applies.
+    """
+
+    def __init__(self, session: "ServeSession") -> None:
+        self._session = session
+
+    def on_tick(self, simulator: ClusterSimulator, now_h: float, it_power_w: float) -> None:
+        self._session._record_tick(simulator, now_h, it_power_w)
+
+
+class ServeSession:
+    """One live, lockable simulation session held by the daemon.
+
+    Build through :meth:`create` (fresh) or :meth:`from_checkpoint`
+    (restored); both construct the simulator from the scenario's cached
+    substrates, so restarts share builds with surviving sessions.
+    """
+
+    def __init__(
+        self,
+        *,
+        session_id: str,
+        scenario_name: str,
+        overrides: dict[str, Any],
+        spec: ScenarioSpec,
+        policy: str,
+        power_cap_fraction: Optional[float],
+        simulator: ClusterSimulator,
+        preload_jobs: int,
+    ) -> None:
+        self.session_id = session_id
+        self.scenario_name = scenario_name
+        self.overrides = dict(overrides)
+        self.spec = spec
+        self.policy = policy
+        self.power_cap_fraction = power_cap_fraction
+        self.simulator = simulator
+        self.preload_jobs = int(preload_jobs)
+        self.created_at = time.time()
+        self.result = None  # SimulationResult after finalize()
+        self.result_summary: Optional[dict[str, Any]] = None
+        self._ticks: list[dict[str, Any]] = []
+        self.lock = threading.RLock()
+        #: Signals new telemetry rows / finalization to streaming readers.
+        self.ticks_available = threading.Condition(self.lock)
+        self.last_checkpoint_h: Optional[float] = None
+        self.checkpoint_count = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _build_simulator(
+        session: "ServeSession",
+        world: ExperimentSession,
+    ) -> ClusterSimulator:
+        """The one construction path used by both create and restore.
+
+        Restoring must rebuild the simulator *exactly* as creation did —
+        same substrates, config and scheduler — so the adopted snapshot
+        continues bit-identically.
+        """
+        scenario = world.scenario(session.spec)
+        return ClusterSimulator(
+            Cluster(session.spec.facility, gpu_model=session.spec.workload.gpu_model),
+            make_scheduler(session.policy, session.power_cap_fraction),
+            session._config,
+            weather_hourly_c=scenario.weather_hourly_c,
+            cooling=CoolingModel(),
+            grid=scenario.grid,
+            observers=[TelemetryObserver(session)],
+        )
+
+    @classmethod
+    def create(
+        cls,
+        *,
+        session_id: str,
+        scenario_name: str,
+        overrides: dict[str, Any],
+        policy: str,
+        horizon_h: float,
+        tick_h: float,
+        facility_power_budget_w: Optional[float],
+        power_cap_fraction: Optional[float],
+        preload_jobs: int,
+        world: ExperimentSession,
+    ) -> "ServeSession":
+        """Build a fresh session, ``begin()`` its run, optionally preload a trace."""
+        spec = resolve_spec(scenario_name, overrides)
+        session = cls.__new__(cls)
+        config = SimulationConfig(
+            horizon_h=float(horizon_h),
+            tick_h=float(tick_h),
+            facility_power_budget_w=facility_power_budget_w,
+        )
+        session.__init__(
+            session_id=session_id,
+            scenario_name=scenario_name,
+            overrides=overrides,
+            spec=spec,
+            policy=policy,
+            power_cap_fraction=power_cap_fraction,
+            simulator=None,  # type: ignore[arg-type]  # set just below
+            preload_jobs=preload_jobs,
+        )
+        session._config = config
+        session.simulator = cls._build_simulator(session, world)
+        if preload_jobs:
+            trace = world.job_trace(
+                n_jobs=preload_jobs, horizon_h=float(horizon_h), spec=spec
+            )
+            session.simulator.begin([job.clone_pending() for job in trace])
+        else:
+            session.simulator.begin()
+        return session
+
+    @classmethod
+    def from_checkpoint(cls, payload: dict, world: ExperimentSession) -> "ServeSession":
+        """Rebuild a session (simulator + telemetry backlog) from a checkpoint."""
+        meta = payload["meta"]
+        snapshot = SimulatorSnapshot.from_jsonable(payload["snapshot"])
+        spec = resolve_spec(meta["scenario"], meta["overrides"])
+        session = cls.__new__(cls)
+        config = SimulationConfig(
+            horizon_h=float(meta["horizon_h"]),
+            tick_h=float(meta["tick_h"]),
+            facility_power_budget_w=meta["facility_power_budget_w"],
+        )
+        session.__init__(
+            session_id=meta["session_id"],
+            scenario_name=meta["scenario"],
+            overrides=dict(meta["overrides"]),
+            spec=spec,
+            policy=meta["policy"],
+            power_cap_fraction=meta["power_cap_fraction"],
+            simulator=None,  # type: ignore[arg-type]
+            preload_jobs=meta["preload_jobs"],
+        )
+        session._config = config
+        session.simulator = cls._build_simulator(session, world)
+        session.simulator.restore(snapshot)
+        session._ticks = list(payload["ticks"])
+        session.checkpoint_count = int(meta.get("checkpoint_count", 0))
+        session.last_checkpoint_h = snapshot.now_h
+        return session
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def spec_hash(self) -> str:
+        """Digest of the session's scenario spec (the substrate-sharing key)."""
+        return _spec_hash(self.spec)
+
+    @property
+    def finalized(self) -> bool:
+        """Whether the session's run has been finalized."""
+        return self.result_summary is not None
+
+    def status(self) -> dict[str, Any]:
+        """The session's live state as one JSON-able dict."""
+        with self.lock:
+            simulator = self.simulator
+            return {
+                "session_id": self.session_id,
+                "scenario": self.scenario_name,
+                "overrides": dict(self.overrides),
+                "spec_hash": self.spec_hash,
+                "policy": self.policy,
+                "horizon_h": self._config.horizon_h,
+                "tick_h": self._config.tick_h,
+                "now_h": self.advanced_to_h,
+                "n_pending": simulator.n_pending,
+                "n_running": simulator.n_running,
+                "it_power_w": simulator.current_it_power_w,
+                "ticks_recorded": len(self._ticks),
+                "finalized": self.finalized,
+                "checkpoints": self.checkpoint_count,
+                "last_checkpoint_h": self.last_checkpoint_h,
+            }
+
+    @property
+    def advanced_to_h(self) -> float:
+        """The time bound the session has advanced to (its public cursor)."""
+        return self.simulator._advanced_to
+
+    # ------------------------------------------------------------------
+    # Request handlers (each takes the session lock)
+    # ------------------------------------------------------------------
+    def submit_jobs(self, jobs: Sequence[dict[str, Any]]) -> int:
+        """Validate and feed client-supplied job dicts into the running simulation."""
+        built = [self._build_job(data) for data in jobs]
+        with self.lock:
+            if self.finalized:
+                raise ServeError(f"session {self.session_id!r} is finalized")
+            for job in built:
+                self.simulator.submit(job)
+        return len(built)
+
+    @staticmethod
+    def _build_job(data: dict[str, Any]) -> Job:
+        if not isinstance(data, dict):
+            raise ServeError(f"each job must be a JSON object, got {type(data).__name__}")
+        missing = [name for name in _REQUIRED_JOB_FIELDS if name not in data]
+        if missing:
+            raise ServeError(f"job is missing required fields {missing}")
+        unknown = set(data) - set(_JOB_FIELDS)
+        if unknown:
+            raise ServeError(
+                f"unknown job fields {sorted(unknown)}; accepted: {list(_JOB_FIELDS)}"
+            )
+        return Job(**{name: data[name] for name in _JOB_FIELDS if name in data})
+
+    def advance_to(
+        self,
+        until_h: float,
+        *,
+        deadline_s: Optional[float] = None,
+        checkpoint_every_h: Optional[float] = None,
+        store: Optional[CheckpointStore] = None,
+    ) -> dict[str, Any]:
+        """Advance the simulation to ``until_h``, bounded by a wall-clock deadline.
+
+        The loop advances in tick-sized chunks so a long request can stop at
+        a consistent hour boundary when ``deadline_s`` expires (the response
+        carries ``timed_out`` and how far it got — the client simply asks
+        again), and so periodic checkpoints land every ``checkpoint_every_h``
+        simulated hours while a month-long advance is in flight.
+        """
+        deadline = None if deadline_s is None else time.monotonic() + float(deadline_s)
+        timed_out = False
+        with self.lock:
+            if self.finalized:
+                raise ServeError(f"session {self.session_id!r} is finalized")
+            target = min(float(until_h), self._config.horizon_h)
+            step = max(self._config.tick_h, 1e-6)
+            reached = self.advanced_to_h
+            while reached < target - 1e-12:
+                reached = min(reached + step, target)
+                self.simulator.advance(reached)
+                if (
+                    store is not None
+                    and checkpoint_every_h
+                    and reached - (self.last_checkpoint_h or 0.0) >= checkpoint_every_h
+                ):
+                    self.checkpoint(store)
+                if deadline is not None and time.monotonic() > deadline and reached < target:
+                    timed_out = True
+                    break
+            self.ticks_available.notify_all()
+        status = self.status()
+        status["timed_out"] = timed_out
+        return status
+
+    def finalize(self) -> dict[str, Any]:
+        """Finalize the run; the summary is kept for repeat reads."""
+        with self.lock:
+            if self.result_summary is None:
+                self.result = self.simulator.finalize()
+                self.result_summary = self.result.summary()
+                self.ticks_available.notify_all()
+            return dict(self.result_summary)
+
+    # ------------------------------------------------------------------
+    # Telemetry stream
+    # ------------------------------------------------------------------
+    def _record_tick(self, simulator: ClusterSimulator, now_h: float, it_power_w: float) -> None:
+        """Observer callback: append one stream row (under the session lock)."""
+        context = simulator.scheduling_context(now_h)
+        pue = context.current_pue
+        self._ticks.append(
+            {
+                "tick": len(self._ticks),
+                "session_id": self.session_id,
+                "now_h": now_h,
+                "it_power_w": it_power_w,
+                "pue": pue,
+                "facility_power_w": it_power_w * pue,
+                "carbon_intensity_g_per_kwh": context.carbon_intensity_g_per_kwh,
+                "price_per_mwh": context.price_per_mwh,
+                "renewable_share": context.renewable_share,
+                "n_pending": simulator.n_pending,
+                "n_running": simulator.n_running,
+            }
+        )
+        self.ticks_available.notify_all()
+
+    def ticks_since(self, cursor: int) -> list[dict[str, Any]]:
+        """Stream rows from ``cursor`` on (a copy, safe to write outside the lock)."""
+        with self.lock:
+            return list(self._ticks[cursor:])
+
+    def wait_for_ticks(self, cursor: int, timeout_s: float) -> bool:
+        """Block until rows beyond ``cursor`` exist, the run finalizes, or timeout.
+
+        Returns whether new rows are available.
+        """
+        deadline = time.monotonic() + timeout_s
+        with self.lock:
+            while len(self._ticks) <= cursor and not self.finalized:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self.ticks_available.wait(remaining)
+            return len(self._ticks) > cursor
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def checkpoint(self, store: CheckpointStore) -> str:
+        """Write this session's full state to the store; returns the file path."""
+        with self.lock:
+            if self.finalized:
+                raise ServeError(
+                    f"session {self.session_id!r} is finalized; nothing left to checkpoint"
+                )
+            snapshot = self.simulator.snapshot()
+            self.checkpoint_count += 1
+            payload = {
+                "format": CHECKPOINT_FORMAT_VERSION,
+                "meta": {
+                    "session_id": self.session_id,
+                    "scenario": self.scenario_name,
+                    "overrides": dict(self.overrides),
+                    "policy": self.policy,
+                    "horizon_h": self._config.horizon_h,
+                    "tick_h": self._config.tick_h,
+                    "facility_power_budget_w": self._config.facility_power_budget_w,
+                    "power_cap_fraction": self.power_cap_fraction,
+                    "preload_jobs": self.preload_jobs,
+                    "checkpoint_count": self.checkpoint_count,
+                },
+                "snapshot": snapshot.to_jsonable(),
+                "ticks": list(self._ticks),
+            }
+            path = store.save(self.session_id, payload)
+            self.last_checkpoint_h = snapshot.now_h
+            return str(path)
+
+    # ------------------------------------------------------------------
+    # Routing snapshot (the what-if surface)
+    # ------------------------------------------------------------------
+    def site_snapshot(self, index: int) -> SiteSnapshot:
+        """This session's live state as a fleet-routing :class:`SiteSnapshot`."""
+        with self.lock:
+            simulator = self.simulator
+            context = simulator.scheduling_context(self.advanced_to_h)
+            return SiteSnapshot(
+                index=index,
+                name=self.session_id,
+                queue_length=simulator.n_pending,
+                running_jobs=simulator.n_running,
+                free_gpus=simulator.cluster.n_free_gpus,
+                total_gpus=simulator.cluster.total_gpus,
+                it_power_w=simulator.current_it_power_w,
+                carbon_intensity_g_per_kwh=context.carbon_intensity_g_per_kwh,
+                price_per_mwh=context.price_per_mwh,
+                renewable_share=context.renewable_share,
+            )
+
+
+class SessionManager:
+    """The daemon's session table plus the spec-keyed shared substrate caches."""
+
+    def __init__(self) -> None:
+        self._sessions: dict[str, ServeSession] = {}
+        self._worlds: dict[ScenarioSpec, ExperimentSession] = {}
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    # Substrate sharing
+    # ------------------------------------------------------------------
+    def world_for(self, spec: ScenarioSpec) -> ExperimentSession:
+        """The shared (thread-safe) substrate cache for ``spec``.
+
+        Sessions over identical specs get the identical
+        :class:`ExperimentSession`, so concurrent creations build weather /
+        trace / grid once — the session's own build lock serializes the
+        racing builders.
+        """
+        with self._lock:
+            world = self._worlds.get(spec)
+            if world is None:
+                world = ExperimentSession(spec)
+                self._worlds[spec] = world
+            return world
+
+    @property
+    def n_worlds(self) -> int:
+        """Distinct substrate caches currently shared across sessions."""
+        with self._lock:
+            return len(self._worlds)
+
+    # ------------------------------------------------------------------
+    # Session lifecycle
+    # ------------------------------------------------------------------
+    def create_session(self, params: dict[str, Any]) -> ServeSession:
+        """Create (and register) a session from a client's request body."""
+        if not isinstance(params, dict):
+            raise ServeError("session creation body must be a JSON object")
+        session_id = params.get("session_id") or f"s-{uuid.uuid4().hex[:12]}"
+        if not isinstance(session_id, str) or not session_id.replace("-", "").replace(
+            "_", ""
+        ).isalnum():
+            raise ServeError(
+                f"session_id must be alphanumeric plus '-'/'_', got {session_id!r}"
+            )
+        scenario_name = params.get("scenario", "default")
+        overrides = {
+            key: params[key]
+            for key in ("seed", "start_year", "n_months", "site")
+            if params.get(key) is not None
+        }
+        spec = resolve_spec(scenario_name, overrides)
+        world = self.world_for(spec)
+        session = ServeSession.create(
+            session_id=session_id,
+            scenario_name=scenario_name,
+            overrides=overrides,
+            policy=params.get("policy", "backfill"),
+            horizon_h=float(params.get("horizon_h", 7 * 24.0)),
+            tick_h=float(params.get("tick_h", 1.0)),
+            facility_power_budget_w=params.get("facility_power_budget_w"),
+            power_cap_fraction=params.get("power_cap_fraction"),
+            preload_jobs=int(params.get("preload_jobs", 0)),
+            world=world,
+        )
+        with self._lock:
+            if session_id in self._sessions:
+                raise ServeError(f"session {session_id!r} already exists")
+            self._sessions[session_id] = session
+        return session
+
+    def restore_session(self, payload: dict) -> ServeSession:
+        """Register a session rebuilt from a checkpoint payload."""
+        meta = payload.get("meta", {})
+        spec = resolve_spec(meta["scenario"], meta.get("overrides", {}))
+        session = ServeSession.from_checkpoint(payload, self.world_for(spec))
+        with self._lock:
+            if session.session_id in self._sessions:
+                raise ServeError(f"session {session.session_id!r} already exists")
+            self._sessions[session.session_id] = session
+        return session
+
+    def restore_all(self, store: CheckpointStore) -> list[str]:
+        """Restore every session with a usable checkpoint; returns restored ids."""
+        restored = []
+        for session_id in store.session_ids():
+            with self._lock:
+                if session_id in self._sessions:
+                    continue
+            payload = store.latest(session_id)
+            if payload is None:
+                continue
+            try:
+                self.restore_session(payload)
+            except CheckpointError:
+                continue  # unreadable under this build; leave the files be
+            restored.append(session_id)
+        return restored
+
+    def get(self, session_id: str) -> ServeSession:
+        """The live session for ``session_id`` (404-mapped error when absent)."""
+        with self._lock:
+            session = self._sessions.get(session_id)
+        if session is None:
+            raise UnknownSessionError(f"no session {session_id!r}")
+        return session
+
+    def remove(self, session_id: str) -> None:
+        """Drop a session from the table (checkpoint files are left on disk)."""
+        with self._lock:
+            if self._sessions.pop(session_id, None) is None:
+                raise UnknownSessionError(f"no session {session_id!r}")
+
+    def sessions(self) -> list[ServeSession]:
+        """The live sessions, in creation order."""
+        with self._lock:
+            return list(self._sessions.values())
+
+    def checkpoint_all(self, store: CheckpointStore) -> list[str]:
+        """Checkpoint every non-finalized session (the SIGTERM drain path)."""
+        paths = []
+        for session in self.sessions():
+            if not session.finalized:
+                paths.append(session.checkpoint(store))
+        return paths
+
+    # ------------------------------------------------------------------
+    # What-if routing across live sessions
+    # ------------------------------------------------------------------
+    def route(
+        self,
+        job_data: dict[str, Any],
+        router_spec: str,
+        session_ids: Optional[Sequence[str]] = None,
+    ) -> dict[str, Any]:
+        """Which live session would a fleet router send this job to?
+
+        Builds one :class:`SiteSnapshot` per candidate session from its live
+        queue / occupancy / grid signals and runs ``router_spec`` (any spec
+        in the :mod:`repro.fleet.routing` grammar) over them.  Purely
+        advisory: nothing is submitted.
+        """
+        job = ServeSession._build_job(job_data)
+        if session_ids is None:
+            candidates = [s for s in self.sessions() if not s.finalized]
+        else:
+            candidates = [self.get(session_id) for session_id in session_ids]
+        if not candidates:
+            raise ServeError("no live sessions to route across")
+        snapshots = [session.site_snapshot(i) for i, session in enumerate(candidates)]
+        router = make_router(router_spec)
+        router.begin_fleet(len(snapshots))
+        now_h = max(snapshot_session.advanced_to_h for snapshot_session in candidates)
+        index = router.select(job, snapshots, now_h)
+        if not 0 <= index < len(candidates):
+            raise ServeError(
+                f"router {router.name!r} returned site index {index!r} "
+                f"for {len(candidates)} candidate sessions"
+            )
+        return {
+            "session_id": candidates[index].session_id,
+            "router": router.name,
+            "candidates": [
+                {
+                    "session_id": session.session_id,
+                    "queue_length": snapshot.queue_length,
+                    "free_gpus": snapshot.free_gpus,
+                    "carbon_intensity_g_per_kwh": snapshot.carbon_intensity_g_per_kwh,
+                    "price_per_mwh": snapshot.price_per_mwh,
+                    "renewable_share": snapshot.renewable_share,
+                }
+                for session, snapshot in zip(candidates, snapshots)
+            ],
+        }

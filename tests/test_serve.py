@@ -1,0 +1,294 @@
+"""The simulation service: daemon API, streaming, routing, restart-restore.
+
+Each test class shares one in-process :class:`~repro.serve.ServeDaemon` on an
+ephemeral port, talked to through the pure-stdlib
+:class:`~repro.serve.ServeClient`.  The restart test is the subsystem's
+acceptance gate: checkpoint at hour H, drop the daemon, restore into a fresh
+one, advance to the horizon — the run summary must equal the uninterrupted
+session's bit for bit.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import ServeClient, ServeDaemon
+
+HORIZON_H = 72.0
+
+
+@pytest.fixture()
+def daemon(tmp_path):
+    daemon = ServeDaemon(
+        port=0,
+        checkpoint_dir=str(tmp_path / "ckpt"),
+        checkpoint_every_h=1000.0,  # only explicit checkpoints in tests
+        request_timeout_s=30.0,
+    )
+    thread = threading.Thread(target=daemon.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield daemon
+    finally:
+        daemon._server.shutdown()
+        daemon.close()
+        thread.join(timeout=5)
+
+
+@pytest.fixture()
+def client(daemon):
+    return ServeClient(f"http://127.0.0.1:{daemon.port}")
+
+
+def _create(client, session_id="s1", **extra):
+    params = dict(
+        session_id=session_id,
+        scenario="supercloud-small",
+        policy="backfill",
+        horizon_h=HORIZON_H,
+        preload_jobs=60,
+    )
+    params.update(extra)
+    return client.create_session(**params)
+
+
+class TestSessionLifecycle:
+    def test_health_and_version(self, client):
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["checkpointing"] is True
+        from repro import __version__
+
+        assert client.version()["version"] == __version__
+
+    def test_create_advance_finalize(self, client):
+        status = _create(client)
+        assert status["session_id"] == "s1"
+        assert status["now_h"] == 0.0
+        status = client.advance("s1", until_h=24.0)
+        assert status["now_h"] == 24.0
+        assert status["timed_out"] is False
+        assert status["ticks_recorded"] == 24
+        summary = client.finalize("s1")["summary"]
+        assert summary["completed_jobs"] > 0
+        assert client.session_status("s1")["finalized"] is True
+
+    def test_mid_run_submission_runs(self, client):
+        _create(client, preload_jobs=0)
+        client.advance("s1", until_h=10.0)
+        accepted = client.submit_jobs(
+            "s1",
+            [{"job_id": "mid", "user_id": "u", "n_gpus": 2, "duration_h": 2.0,
+              "submit_time_h": 12.0}],
+        )["accepted"]
+        assert accepted == 1
+        client.advance("s1", until_h=HORIZON_H)
+        summary = client.finalize("s1")["summary"]
+        assert summary["completed_jobs"] == 1.0
+
+    def test_sessions_share_one_world(self, daemon, client):
+        _create(client, session_id="a")
+        _create(client, session_id="b", policy="carbon-aware")
+        assert client.health()["worlds"] == 1
+        assert {s["session_id"] for s in client.list_sessions()} == {"a", "b"}
+        world = daemon.manager.world_for(daemon.manager.get("a").spec)
+        assert world.scenario_builds == 1
+
+    def test_delete_session(self, client):
+        _create(client)
+        client.delete_session("s1")
+        with pytest.raises(ServeError, match="404"):
+            client.session_status("s1")
+
+    def test_unknown_session_is_404(self, client):
+        with pytest.raises(ServeError, match="404"):
+            client.advance("ghost", until_h=1.0)
+
+    def test_bad_requests_are_400(self, client):
+        with pytest.raises(ServeError, match="400"):
+            client.create_session(scenario="no-such-scenario")
+        _create(client)
+        with pytest.raises(ServeError, match="400"):
+            client.submit_jobs("s1", [{"job_id": "x"}])  # missing required fields
+        with pytest.raises(ServeError, match="400"):
+            client.create_session(session_id="s1")  # duplicate id
+        client.finalize("s1")
+        with pytest.raises(ServeError, match="400"):
+            client.advance("s1", until_h=80.0)  # finalized
+
+    def test_duplicate_and_past_submissions_rejected(self, client):
+        _create(client, preload_jobs=0)
+        job = {"job_id": "j", "user_id": "u", "n_gpus": 1, "duration_h": 1.0,
+               "submit_time_h": 5.0}
+        client.submit_jobs("s1", [job])
+        with pytest.raises(ServeError, match="duplicate"):
+            client.submit_jobs("s1", [job])
+        client.advance("s1", until_h=24.0)
+        with pytest.raises(ServeError, match="past"):
+            client.submit_jobs("s1", [dict(job, job_id="j2", submit_time_h=3.0)])
+
+
+class TestTelemetry:
+    def test_stream_and_resume_by_cursor(self, client):
+        _create(client)
+        client.advance("s1", until_h=24.0)
+        rows = list(client.stream_telemetry("s1"))
+        assert len(rows) == 24
+        assert rows[0]["now_h"] == 0.0
+        assert rows[-1]["now_h"] == 23.0
+        assert all(row["facility_power_w"] >= row["it_power_w"] for row in rows)
+        assert all(row["carbon_intensity_g_per_kwh"] > 0 for row in rows)
+        client.advance("s1", until_h=30.0)
+        tail = list(client.stream_telemetry("s1", since=len(rows)))
+        assert [row["now_h"] for row in tail] == [24.0, 25.0, 26.0, 27.0, 28.0, 29.0]
+
+    def test_follow_sees_rows_from_concurrent_advance(self, client):
+        _create(client)
+        collected = []
+
+        def reader():
+            for row in client.stream_telemetry("s1", follow=True, max_wait_s=10.0):
+                collected.append(row)
+                if len(collected) >= 12:
+                    break
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        client.advance("s1", until_h=12.0)
+        thread.join(timeout=20)
+        assert not thread.is_alive()
+        assert len(collected) >= 12
+
+
+class TestRouting:
+    def test_route_prefers_empty_queue(self, client):
+        _create(client, session_id="busy", preload_jobs=0)
+        _create(client, session_id="idle", preload_jobs=0)
+        # Saturate "busy": 30 x 4 GPUs on a 64-GPU facility leaves a queue.
+        client.submit_jobs(
+            "busy",
+            [{"job_id": f"fill-{i}", "user_id": "u", "n_gpus": 4,
+              "duration_h": 10.0, "submit_time_h": 0.5} for i in range(30)],
+        )
+        client.advance("busy", until_h=1.0)
+        client.advance("idle", until_h=1.0)
+        answer = client.route(
+            {"job_id": "probe", "user_id": "u", "n_gpus": 2, "duration_h": 1.0,
+             "submit_time_h": 1.0},
+            router="least-queued",
+        )
+        assert answer["session_id"] == "idle"
+        assert len(answer["candidates"]) == 2
+
+    def test_route_respects_session_filter_and_composed_spec(self, client):
+        _create(client, session_id="a")
+        _create(client, session_id="b")
+        answer = client.route(
+            {"job_id": "probe", "user_id": "u", "n_gpus": 1, "duration_h": 1.0,
+             "submit_time_h": 0.0},
+            router="carbon-min+queue-cap(max=500)",
+            sessions=["b"],
+        )
+        assert answer["session_id"] == "b"
+
+    def test_route_without_sessions_is_400(self, client):
+        with pytest.raises(ServeError, match="400"):
+            client.route({"job_id": "p", "user_id": "u", "n_gpus": 1,
+                          "duration_h": 1.0, "submit_time_h": 0.0})
+
+
+class TestCheckpointRestore:
+    def test_restart_resumes_bit_identically(self, tmp_path):
+        """The acceptance gate: kill at hour 36, restore, finish — same summary."""
+        ckpt = str(tmp_path / "ckpt")
+
+        def run_daemon():
+            daemon = ServeDaemon(port=0, checkpoint_dir=ckpt, request_timeout_s=30.0)
+            thread = threading.Thread(target=daemon.serve_forever, daemon=True)
+            thread.start()
+            return daemon, ServeClient(f"http://127.0.0.1:{daemon.port}")
+
+        # Uninterrupted reference session.
+        daemon, client = run_daemon()
+        _create(client, session_id="ref")
+        client.advance("ref", until_h=HORIZON_H)
+        reference = client.finalize("ref")["summary"]
+
+        # Interrupted twin: advance halfway, checkpoint, drop the daemon cold.
+        _create(client, session_id="twin")
+        client.advance("twin", until_h=36.0)
+        client.checkpoint("twin")
+        daemon._server.shutdown()
+        daemon.close()
+
+        daemon, client = run_daemon()
+        try:
+            assert "twin" in client.health()["restored"]
+            status = client.session_status("twin")
+            assert status["now_h"] == 36.0
+            assert status["ticks_recorded"] == 36
+            client.advance("twin", until_h=HORIZON_H)
+            resumed = client.finalize("twin")["summary"]
+            assert resumed == reference
+        finally:
+            daemon._server.shutdown()
+            daemon.close()
+
+    def test_graceful_shutdown_checkpoints_sessions(self, tmp_path):
+        ckpt = str(tmp_path / "ckpt")
+        daemon = ServeDaemon(port=0, checkpoint_dir=ckpt, request_timeout_s=30.0)
+        thread = threading.Thread(target=daemon.serve_forever, daemon=True)
+        thread.start()
+        client = ServeClient(f"http://127.0.0.1:{daemon.port}")
+        _create(client, session_id="drained")
+        client.advance("drained", until_h=12.0)
+        daemon.shutdown()  # the SIGTERM path: drain-checkpoint then stop
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        daemon.close()
+        assert "drained" in daemon.store.session_ids()
+        payload = daemon.store.latest("drained")
+        assert payload["snapshot"]["state"]["advanced_to"] == 12.0
+        # And a fresh daemon restores it.
+        daemon2 = ServeDaemon(port=0, checkpoint_dir=ckpt)
+        assert daemon2.restored == ["drained"]
+        daemon2.close()
+
+    def test_checkpoint_disabled_without_dir(self):
+        daemon = ServeDaemon(port=0, checkpoint_dir=None)
+        thread = threading.Thread(target=daemon.serve_forever, daemon=True)
+        thread.start()
+        try:
+            client = ServeClient(f"http://127.0.0.1:{daemon.port}")
+            assert client.health()["checkpointing"] is False
+            _create(client)
+            with pytest.raises(ServeError, match="disabled"):
+                client.checkpoint("s1")
+        finally:
+            daemon._server.shutdown()
+            daemon.close()
+            thread.join(timeout=5)
+
+
+class TestCli:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_serve_subcommand_registered(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--checkpoint-dir", "/tmp/x"]
+        )
+        assert args.command == "serve"
+        assert args.port == 0
+        assert args.checkpoint_every_h == 24.0

@@ -1,0 +1,368 @@
+"""Simulator checkpoint/restore, stepping-API misuse, and session thread safety.
+
+The headline property: restoring a mid-run snapshot onto a freshly built
+simulator and advancing to the horizon yields job records **bit-identical**
+to the uninterrupted run — across plain policies, stateful composed
+pipelines (the adaptive power-cap observer) and fleet member scenarios, and
+surviving a JSON round trip of the snapshot payload.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+
+import pytest
+
+from repro.cluster.cooling import CoolingModel
+from repro.cluster.observers import SimulatorObserver
+from repro.cluster.resources import Cluster
+from repro.cluster.simulator import (
+    ClusterSimulator,
+    SimulationConfig,
+    SimulatorSnapshot,
+    SNAPSHOT_VERSION,
+)
+from repro.core.levers import make_scheduler
+from repro.errors import CheckpointError, SimulationError, SteppingError
+from repro.experiments import ExperimentSession
+from repro.fleet import get_fleet
+from repro.scheduler.job import Job, JobState
+from repro.serve.checkpoint import CheckpointStore
+
+HORIZON_H = 7 * 24.0
+
+
+def _fingerprint(result) -> str:
+    """sha256 over the full job-record table (the bit-identity witness)."""
+    records = tuple(
+        (
+            r.job_id,
+            r.start_time_h,
+            r.finish_time_h,
+            r.energy_j,
+            r.power_cap_w,
+            r.completed,
+        )
+        for r in result.job_records
+    )
+    return hashlib.sha256(repr(records).encode()).hexdigest()
+
+
+def _build_simulator(world: ExperimentSession, policy: str) -> ClusterSimulator:
+    spec = world.spec
+    scenario = world.scenario()
+    return ClusterSimulator(
+        Cluster(spec.facility, gpu_model=spec.workload.gpu_model),
+        make_scheduler(policy),
+        SimulationConfig(horizon_h=HORIZON_H),
+        weather_hourly_c=scenario.weather_hourly_c,
+        cooling=CoolingModel(),
+        grid=scenario.grid,
+    )
+
+
+@pytest.fixture(scope="module")
+def world() -> ExperimentSession:
+    return ExperimentSession("supercloud-small")
+
+
+@pytest.fixture(scope="module")
+def trace(world):
+    return world.job_trace(n_jobs=150, horizon_h=HORIZON_H)
+
+
+class TestRestoreParity:
+    """restore(snapshot) + finalize == uninterrupted run, bit for bit."""
+
+    @pytest.mark.parametrize(
+        "policy",
+        [
+            "backfill",
+            "carbon-aware",
+            # A composed pipeline whose adaptive-cap stage is a *stateful*
+            # observer: its controller caps and energy-accrual ledger must
+            # ride along in the snapshot.
+            "backfill+adaptive(budget_w=25000)",
+        ],
+    )
+    def test_policy_parity_through_json(self, world, trace, policy):
+        reference = _fingerprint(
+            _build_simulator(world, policy).run([j.clone_pending() for j in trace])
+        )
+
+        interrupted = _build_simulator(world, policy)
+        interrupted.begin([j.clone_pending() for j in trace])
+        interrupted.advance(48.0)
+        payload = json.loads(json.dumps(interrupted.snapshot().to_jsonable()))
+
+        resumed = _build_simulator(world, policy)
+        resumed.restore(SimulatorSnapshot.from_jsonable(payload))
+        assert _fingerprint(resumed.finalize()) == reference
+
+    def test_fleet_member_parity(self):
+        """A fleet member spec (relocated scenario) restores bit-identically too."""
+        member = get_fleet("duo-climate-small").members[1]  # the desert twin
+        world = ExperimentSession(member)
+        trace = world.job_trace(n_jobs=100, horizon_h=HORIZON_H)
+        reference = _fingerprint(
+            _build_simulator(world, "backfill").run([j.clone_pending() for j in trace])
+        )
+        interrupted = _build_simulator(world, "backfill")
+        interrupted.begin([j.clone_pending() for j in trace])
+        interrupted.advance(24.0)
+        snapshot = interrupted.snapshot()
+        resumed = _build_simulator(world, "backfill")
+        resumed.restore(snapshot)
+        assert _fingerprint(resumed.finalize()) == reference
+
+    def test_restore_then_submit_continues(self, world, trace):
+        """A restored run accepts further mid-run submissions."""
+        interrupted = _build_simulator(world, "backfill")
+        interrupted.begin([j.clone_pending() for j in trace])
+        interrupted.advance(24.0)
+        snapshot = interrupted.snapshot()
+        resumed = _build_simulator(world, "backfill")
+        resumed.restore(snapshot)
+        resumed.submit(Job("late", "u", n_gpus=1, duration_h=2.0, submit_time_h=30.0))
+        result = resumed.finalize()
+        late = next(r for r in result.job_records if r.job_id == "late")
+        assert late.completed
+
+    def test_tick_series_preserved(self, world, trace):
+        """The restored run's power series covers the whole horizon seamlessly."""
+        uninterrupted = _build_simulator(world, "backfill")
+        reference = uninterrupted.run([j.clone_pending() for j in trace])
+        interrupted = _build_simulator(world, "backfill")
+        interrupted.begin([j.clone_pending() for j in trace])
+        interrupted.advance(60.0)
+        resumed = _build_simulator(world, "backfill")
+        resumed.restore(interrupted.snapshot())
+        result = resumed.finalize()
+        assert result.it_power_w.tolist() == reference.it_power_w.tolist()
+        assert result.facility_energy_kwh == reference.facility_energy_kwh
+
+
+class TestSnapshotValidation:
+    def test_version_mismatch_rejected(self, world, trace):
+        simulator = _build_simulator(world, "backfill")
+        simulator.begin([j.clone_pending() for j in trace])
+        payload = simulator.snapshot().to_jsonable()
+        payload["version"] = SNAPSHOT_VERSION + 1
+        with pytest.raises(CheckpointError, match="version"):
+            SimulatorSnapshot.from_jsonable(payload)
+
+    def test_scheduler_mismatch_rejected(self, world, trace):
+        simulator = _build_simulator(world, "backfill")
+        simulator.begin([j.clone_pending() for j in trace])
+        snapshot = simulator.snapshot()
+        other = _build_simulator(world, "fifo")
+        with pytest.raises(CheckpointError, match="scheduler"):
+            other.restore(snapshot)
+
+    def test_config_mismatch_rejected(self, world, trace):
+        simulator = _build_simulator(world, "backfill")
+        simulator.begin([j.clone_pending() for j in trace])
+        snapshot = simulator.snapshot()
+        spec = world.spec
+        scenario = world.scenario()
+        other = ClusterSimulator(
+            Cluster(spec.facility, gpu_model=spec.workload.gpu_model),
+            make_scheduler("backfill"),
+            SimulationConfig(horizon_h=HORIZON_H, tick_h=0.5),
+            weather_hourly_c=scenario.weather_hourly_c,
+            cooling=CoolingModel(),
+            grid=scenario.grid,
+        )
+        with pytest.raises(CheckpointError, match="tick_h"):
+            other.restore(snapshot)
+
+    def test_restore_onto_begun_simulator_rejected(self, world, trace):
+        simulator = _build_simulator(world, "backfill")
+        simulator.begin([j.clone_pending() for j in trace])
+        snapshot = simulator.snapshot()
+        begun = _build_simulator(world, "backfill")
+        begun.begin()
+        with pytest.raises(SteppingError, match="already began"):
+            begun.restore(snapshot)
+
+    def test_snapshot_requires_running_run(self, world):
+        simulator = _build_simulator(world, "backfill")
+        with pytest.raises(SteppingError, match="before begin"):
+            simulator.snapshot()
+        simulator.begin()
+        simulator.finalize()
+        with pytest.raises(SteppingError, match="after finalize"):
+            simulator.snapshot()
+
+    def test_job_snapshot_round_trip(self):
+        job = Job(
+            "j1",
+            "u1",
+            n_gpus=4,
+            duration_h=3.0,
+            submit_time_h=1.5,
+            deadline_h=20.0,
+            deferrable=True,
+            max_defer_h=6.0,
+            power_cap_fraction=0.8,
+            tags={"kind": "training"},
+        )
+        job.mark_started(2.0, power_cap_w=200.0, duration_h=3.4)
+        restored = Job.from_snapshot(json.loads(json.dumps(job.to_snapshot())))
+        assert restored.state is JobState.RUNNING
+        assert restored.to_snapshot() == job.to_snapshot()
+
+    def test_stateless_observer_rejects_foreign_state(self):
+        observer = SimulatorObserver()
+        assert observer.snapshot_state() is None
+        observer.restore_state(None)  # the no-op round trip
+        with pytest.raises(CheckpointError):
+            observer.restore_state({"unexpected": 1})
+
+
+class TestSteppingErrors:
+    """Misusing the stepping API raises typed SteppingErrors (satellite b)."""
+
+    def test_submit_before_begin(self, world):
+        simulator = _build_simulator(world, "backfill")
+        with pytest.raises(SteppingError, match="before begin"):
+            simulator.submit(Job("j", "u", n_gpus=1, duration_h=1.0, submit_time_h=0.0))
+
+    def test_advance_before_begin(self, world):
+        simulator = _build_simulator(world, "backfill")
+        with pytest.raises(SteppingError, match="before begin"):
+            simulator.advance(1.0)
+
+    def test_begin_twice(self, world):
+        simulator = _build_simulator(world, "backfill")
+        simulator.begin()
+        with pytest.raises(SteppingError, match="twice"):
+            simulator.begin()
+
+    def test_finalize_twice(self, world):
+        simulator = _build_simulator(world, "backfill")
+        simulator.begin()
+        simulator.finalize()
+        with pytest.raises(SteppingError, match="twice"):
+            simulator.finalize()
+
+    def test_advance_behind_cursor(self, world):
+        simulator = _build_simulator(world, "backfill")
+        simulator.begin()
+        simulator.advance(10.0)
+        simulator.advance(10.0)  # re-advancing to the same bound is a no-op
+        with pytest.raises(SteppingError, match="behind the cursor"):
+            simulator.advance(5.0)
+
+    def test_submit_in_the_past(self, world):
+        simulator = _build_simulator(world, "backfill")
+        simulator.begin()
+        simulator.advance(10.0)
+        with pytest.raises(SteppingError, match="past"):
+            simulator.submit(Job("j", "u", n_gpus=1, duration_h=1.0, submit_time_h=2.0))
+
+    def test_after_finalize(self, world):
+        simulator = _build_simulator(world, "backfill")
+        simulator.begin()
+        simulator.finalize()
+        with pytest.raises(SteppingError, match="after finalize"):
+            simulator.advance(5.0)
+        with pytest.raises(SteppingError, match="after finalize"):
+            simulator.submit(Job("j", "u", n_gpus=1, duration_h=1.0, submit_time_h=0.0))
+
+    def test_stepping_error_is_simulation_error(self):
+        # Existing callers catching SimulationError keep working.
+        assert issubclass(SteppingError, SimulationError)
+
+
+class TestSessionThreadSafety:
+    """Concurrent substrate access builds each world exactly once (satellite c)."""
+
+    def test_concurrent_scenario_builds_once(self):
+        session = ExperimentSession("supercloud-small")
+        barrier = threading.Barrier(8)
+        results = []
+
+        def hit():
+            barrier.wait()
+            results.append(session.scenario())
+
+        threads = [threading.Thread(target=hit) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert session.scenario_builds == 1
+        assert all(scenario is results[0] for scenario in results)
+
+    def test_concurrent_job_traces_build_once(self):
+        session = ExperimentSession("supercloud-small")
+        barrier = threading.Barrier(6)
+        results = []
+
+        def hit():
+            barrier.wait()
+            results.append(session.job_trace(n_jobs=40, horizon_h=24.0))
+
+        threads = [threading.Thread(target=hit) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(trace is results[0] for trace in results)
+
+    def test_session_survives_pickling(self):
+        import pickle
+
+        session = ExperimentSession("supercloud-small")
+        session.scenario()
+        clone = pickle.loads(pickle.dumps(session))
+        assert clone.spec == session.spec
+        # The recreated lock still guards the caches.
+        assert clone.scenario() is not None
+
+
+class TestCheckpointStore:
+    def test_save_load_round_trip(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        payload = {"format": 1, "meta": {"session_id": "a"}, "snapshot": {}, "ticks": []}
+        path = store.save("a", payload)
+        assert store.load(path) == payload
+        assert store.latest("a") == payload
+
+    def test_pruning_keeps_newest(self, tmp_path):
+        store = CheckpointStore(tmp_path, keep=2)
+        for index in range(5):
+            store.save("a", {"format": 1, "index": index})
+        remaining = store.checkpoints("a")
+        assert len(remaining) == 2
+        assert store.latest("a")["index"] == 4
+
+    def test_corrupt_latest_falls_back(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save("a", {"format": 1, "index": 0})
+        newest = store.save("a", {"format": 1, "index": 1})
+        newest.write_text("{truncated")  # a crash mid-write
+        assert store.latest("a")["index"] == 0
+
+    def test_unserializable_payload_rejected(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        with pytest.raises(CheckpointError, match="JSON"):
+            store.save("a", {"format": 1, "bad": float("nan")})
+        assert store.checkpoints("a") == []
+
+    def test_session_ids_and_isolation(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save("a", {"format": 1})
+        store.save("b", {"format": 1})
+        assert store.session_ids() == ["a", "b"]
+        assert len(store.checkpoints("a")) == 1
+
+    def test_wrong_format_version_rejected(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        path = store.save("a", {"format": 999})
+        with pytest.raises(CheckpointError, match="format"):
+            store.load(path)
+        assert store.latest("a") is None
