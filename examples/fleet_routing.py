@@ -19,6 +19,11 @@ totals are the exact sum of the member-site totals.
 Run with::
 
     python examples/fleet_routing.py
+    python examples/fleet_routing.py --workers 4   # step sites on processes
+
+``--workers N`` hosts the per-site simulators on N worker processes
+(bit-identical results; see the scaling guide in ``repro.fleet``) and is
+worth it once members are supercloud-medium-sized or the fleet is large.
 
 The same comparison from the command line::
 
@@ -31,8 +36,11 @@ The same comparison from the command line::
 
 from __future__ import annotations
 
+import argparse
+
 from repro.experiments import ExperimentSession
 from repro.fleet import FleetSimulator, get_fleet
+from repro.parallel import ParallelConfig
 
 #: The routers under test: the two load-oriented baselines, the three grid
 #: signal chasers, and one composed spec (chase clean power, but never into
@@ -52,9 +60,24 @@ N_JOBS = 400
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="step member sites on N worker processes (default: serial in-process)",
+    )
+    args = parser.parse_args()
+    parallel = ParallelConfig(n_workers=args.workers) if args.workers > 1 else None
+
     fleet = get_fleet("tri-site-small").with_member_overrides(n_months=N_MONTHS)
     print(f"fleet: {fleet.name} — {', '.join(fleet.member_names)}")
-    print(f"workload: {N_JOBS} jobs over {HORIZON_H / 24:.0f} days (shared trace)\n")
+    stepping = f"parallel x{args.workers}" if parallel else "serial"
+    print(
+        f"workload: {N_JOBS} jobs over {HORIZON_H / 24:.0f} days "
+        f"(shared trace); stepping: {stepping}\n"
+    )
 
     # One session: each member's weather/trace/grid substrates build once and
     # are shared by every router under test.
@@ -69,7 +92,7 @@ def main() -> None:
     print("-" * len(header))
     for router in ROUTERS:
         result = FleetSimulator(
-            fleet, router=router, horizon_h=HORIZON_H, session=session
+            fleet, router=router, horizon_h=HORIZON_H, parallel=parallel, session=session
         ).run(trace)
         counts = "/".join(str(n) for n in result.dispatch_counts().values())
         print(
@@ -80,7 +103,7 @@ def main() -> None:
 
     print()
     result = FleetSimulator(
-        fleet, router="carbon-min", horizon_h=HORIZON_H, session=session
+        fleet, router="carbon-min", horizon_h=HORIZON_H, parallel=parallel, session=session
     ).run(trace)
     print("per-site breakdown under carbon-min (fleet totals == sum of sites):")
     for row in result.site_rows():

@@ -160,8 +160,10 @@ def _add_shared_arguments(parser: argparse.ArgumentParser, *, in_subcommand: boo
         type=int,
         default=default(None),
         help=(
-            "worker processes for sweep-capable subcommands (0 = all cores; "
-            "default: the GREENHPC_WORKERS environment variable, else serial)"
+            "worker processes for sweep-capable subcommands and for fleet "
+            "stepping (greenhpc fleet --workers N steps member sites on worker "
+            "processes with bit-identical results; 0 = all cores; default: the "
+            "GREENHPC_WORKERS environment variable, else serial)"
         ),
     )
     parser.add_argument(

@@ -360,11 +360,15 @@ def run_fleet(
     rows: list[dict] = []
     results = []
     for router_name in routers:
+        # The session's --workers / GREENHPC_WORKERS configuration doubles as
+        # the fleet stepping mode: >1 workers steps the member sites on
+        # worker processes (bit-identical records, see repro.fleet.parallel).
         result = FleetSimulator(
             fleet_spec,
             router=router_name,
             policy=policy,
             horizon_h=horizon_days * 24.0,
+            parallel=session.parallel,
             session=session,
         ).run(n_jobs=jobs)
         results.append(result)
@@ -379,8 +383,18 @@ def run_fleet(
     scalars["n_routers"] = len(results)
     scalars["greenest_router"] = greenest.router
     scalars["greenest_emissions_kg"] = greenest.total_emissions_kg
+    # Only the (deterministic) worker count enters the scalars: campaign rows
+    # must stay byte-identical across serial/parallel runs, so wall-clock
+    # stays on FleetResult.step_timings rather than in result rows.
+    timings = headline.step_timings
+    stepping = "serial"
+    if timings is not None:
+        scalars["step_workers"] = timings.n_workers
+        if timings.mode == "parallel":
+            stepping = f"parallel x{timings.n_workers}"
     notes = [
-        f"fleet: {fleet_spec.name} ({fleet_spec.n_sites} sites), policy: {policy}",
+        f"fleet: {fleet_spec.name} ({fleet_spec.n_sites} sites), policy: {policy}, "
+        f"stepping: {stepping}",
     ]
     for result in results:
         counts = ", ".join(f"{name}={n}" for name, n in result.dispatch_counts().items())

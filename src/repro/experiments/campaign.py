@@ -38,6 +38,7 @@ see ``examples/policy_composition.py``.
 from __future__ import annotations
 
 import csv
+import functools
 import io
 import json
 from dataclasses import dataclass, field, fields
@@ -287,7 +288,7 @@ class CampaignSpec:
 #: One session per distinct scenario spec, local to this (worker) process.
 #: ``map_parallel`` hands each worker a chunk of points; points sharing a
 #: spec reuse the session's cached substrates instead of rebuilding them.
-_WORKER_SESSIONS: dict[ScenarioSpec, ExperimentSession] = {}
+_WORKER_SESSIONS: dict[tuple[ScenarioSpec, Optional[ParallelConfig]], ExperimentSession] = {}
 
 #: Cache bound: campaigns expand with same-spec points adjacent, so a small
 #: FIFO window keeps the reuse win while a serial driver process (or a
@@ -295,14 +296,17 @@ _WORKER_SESSIONS: dict[ScenarioSpec, ExperimentSession] = {}
 _MAX_WORKER_SESSIONS = 8
 
 
-def _worker_session(spec: ScenarioSpec) -> ExperimentSession:
+def _worker_session(
+    spec: ScenarioSpec, parallel: Optional[ParallelConfig] = None
+) -> ExperimentSession:
     """The process-local session for ``spec`` (created on first use)."""
-    session = _WORKER_SESSIONS.get(spec)
+    key = (spec, parallel)
+    session = _WORKER_SESSIONS.get(key)
     if session is None:
         while len(_WORKER_SESSIONS) >= _MAX_WORKER_SESSIONS:
             _WORKER_SESSIONS.pop(next(iter(_WORKER_SESSIONS)))
-        session = ExperimentSession(spec)
-        _WORKER_SESSIONS[spec] = session
+        session = ExperimentSession(spec, parallel=parallel)
+        _WORKER_SESSIONS[key] = session
     return session
 
 
@@ -311,22 +315,42 @@ def clear_worker_sessions() -> None:
     _WORKER_SESSIONS.clear()
 
 
-def _evaluate_campaign_point(point: CampaignPoint) -> ExperimentResult:
+def _evaluate_campaign_point(
+    point: CampaignPoint, session_parallel: Optional[ParallelConfig] = None
+) -> ExperimentResult:
     """Run one campaign point on the worker-local session for its spec."""
-    return _worker_session(point.spec).run(point.experiment, **dict(point.params))
+    session = _worker_session(point.spec, session_parallel)
+    return session.run(point.experiment, **dict(point.params))
 
 
 def run_campaign(
-    campaign: CampaignSpec, parallel: Optional[ParallelConfig] = None
+    campaign: CampaignSpec,
+    parallel: Optional[ParallelConfig] = None,
+    *,
+    session_parallel: Optional[ParallelConfig] = None,
 ) -> "CampaignResult":
     """Expand ``campaign`` and evaluate every point, in processes when asked.
 
     Results come back in point order regardless of execution order, so the
     returned :class:`CampaignResult` is byte-identical between serial and
     parallel runs of the same campaign.
+
+    ``parallel`` distributes the *points*; ``session_parallel`` is handed to
+    each point's worker-local session, where inner layers pick it up — most
+    notably the ``fleet`` experiment, whose member sites then step on worker
+    processes of their own (:mod:`repro.fleet.parallel`), so a router sweep
+    exploits both axes at once (points × sites).  It defaults to ``parallel``
+    itself when omitted; the two multiply, so a campaign over F-site fleets
+    with W workers can occupy up to W×(F+1) processes.
     """
     points = campaign.expand()
-    results = map_parallel(_evaluate_campaign_point, points, parallel)
+    if session_parallel is None:
+        session_parallel = parallel
+    results = map_parallel(
+        functools.partial(_evaluate_campaign_point, session_parallel=session_parallel),
+        points,
+        parallel,
+    )
     return CampaignResult(campaign=campaign, points=tuple(points), results=tuple(results))
 
 

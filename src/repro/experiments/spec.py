@@ -191,6 +191,89 @@ register_site(
         grid_region="IS",
     )
 )
+# The continental ladder: eight more North-American sites, one per grid
+# region, so 10-site fleets span genuinely different climate/carbon/price
+# substrates (regional grid profiles live in repro.fleet.spec.REGION_GRIDS).
+register_site(
+    SiteConfig(
+        name="columbia-wa",
+        mean_annual_temperature_c=11.5,
+        seasonal_temperature_amplitude_c=10.0,
+        diurnal_temperature_amplitude_c=6.5,
+        latitude_deg=46.2,
+        grid_region="BPA",
+    )
+)
+register_site(
+    SiteConfig(
+        name="dallas-tx",
+        mean_annual_temperature_c=18.8,
+        seasonal_temperature_amplitude_c=11.0,
+        diurnal_temperature_amplitude_c=5.5,
+        latitude_deg=32.8,
+        grid_region="ERCO",
+    )
+)
+register_site(
+    SiteConfig(
+        name="denver-co",
+        mean_annual_temperature_c=10.1,
+        seasonal_temperature_amplitude_c=11.5,
+        diurnal_temperature_amplitude_c=7.5,
+        latitude_deg=39.7,
+        grid_region="PSCO",
+    )
+)
+register_site(
+    SiteConfig(
+        name="atlanta-ga",
+        mean_annual_temperature_c=17.0,
+        seasonal_temperature_amplitude_c=9.5,
+        diurnal_temperature_amplitude_c=5.0,
+        latitude_deg=33.7,
+        grid_region="SOCO",
+    )
+)
+register_site(
+    SiteConfig(
+        name="sanjose-ca",
+        mean_annual_temperature_c=15.3,
+        seasonal_temperature_amplitude_c=5.0,
+        diurnal_temperature_amplitude_c=6.0,
+        latitude_deg=37.3,
+        grid_region="CISO",
+    )
+)
+register_site(
+    SiteConfig(
+        name="chicago-il",
+        mean_annual_temperature_c=9.9,
+        seasonal_temperature_amplitude_c=13.0,
+        diurnal_temperature_amplitude_c=4.5,
+        latitude_deg=41.9,
+        grid_region="MISO",
+    )
+)
+register_site(
+    SiteConfig(
+        name="ashburn-va",
+        mean_annual_temperature_c=13.4,
+        seasonal_temperature_amplitude_c=11.0,
+        diurnal_temperature_amplitude_c=5.0,
+        latitude_deg=39.0,
+        grid_region="PJM",
+    )
+)
+register_site(
+    SiteConfig(
+        name="quebec-qc",
+        mean_annual_temperature_c=4.2,
+        seasonal_temperature_amplitude_c=14.5,
+        diurnal_temperature_amplitude_c=4.0,
+        latitude_deg=46.8,
+        grid_region="HQ",
+    )
+)
 
 
 # ---------------------------------------------------------------------------
@@ -287,6 +370,17 @@ register_scenario(
         description=(
             "a 256-node x 8-GPU A100 build-out of the facility "
             "(the scale tier exercised by benchmarks/test_bench_simulator_scale.py)"
+        ),
+    )
+)
+register_scenario(
+    ScenarioSpec(
+        name="supercloud-xlarge",
+        facility=FacilityConfig(name="supercloud-xlarge", n_nodes=1024, gpus_per_node=8),
+        workload=WorkloadSpec(gpu_model="A100"),
+        description=(
+            "a 1024-node x 8-GPU A100 build-out (8192 GPUs — the top rung of the "
+            "scale ladder, sized for parallel-fleet and single-site scale benchmarks)"
         ),
     )
 )

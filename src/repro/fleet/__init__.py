@@ -17,9 +17,12 @@ that dimension to the toolkit:
 * :mod:`~repro.fleet.simulator` — the :class:`FleetSimulator`, stepping one
   :class:`~repro.cluster.ClusterSimulator` per site in hourly lockstep and
   dispatching each arriving job of the shared workload through the router.
+* :mod:`~repro.fleet.parallel` — the process-parallel stepping backend: a
+  :class:`FleetWorkerPool` hosts the per-site simulators on worker processes
+  behind a pipe protocol while routing stays in the coordinator.
 * :mod:`~repro.fleet.result` — the :class:`FleetResult`: per-site results,
-  the job→site assignment table, and fleet totals that equal the sum of the
-  member sites bit-for-bit.
+  the job→site assignment table, the :class:`FleetStepTimings` breakdown,
+  and fleet totals that equal the sum of the member sites bit-for-bit.
 
 Quick start::
 
@@ -35,9 +38,37 @@ the ``fleet`` experiment makes ``router`` a sweepable campaign lever::
 
     greenhpc fleet --router "round-robin,carbon-min" --json
     greenhpc sweep --experiments fleet --grid "router=round-robin,carbon-min,renewable-max"
+
+Scaling guide — when to step in parallel
+----------------------------------------
+
+``FleetSimulator(..., parallel=ParallelConfig(n_workers=N))`` (the CLI's
+``--workers`` / ``GREENHPC_WORKERS``) moves the per-site event loops onto
+worker processes.  Results are **bit-identical** to serial stepping in
+either mode — routing never leaves the coordinator — so the only question
+is wall-clock:
+
+* The steady-state IPC cost is two pipe messages down and one up, per
+  worker, per hourly window (a routed batch plus a pipelined ``advance``),
+  roughly a tenth of a millisecond each; worker start-up is a ``fork`` plus
+  one build acknowledgement, and full results ship once, at ``finalize``.
+* Parallel stepping wins when per-window simulator work dominates that
+  exchange: big facilities (``supercloud-medium`` and up, e.g. the
+  ``quad-climate-medium`` speedup fleet of the scale benchmarks), dense
+  traces, or many members (``deca-continental-*``, ``duo-xlarge``).
+* Keep the serial default for small fleets of small sites — a 3x
+  ``supercloud-small`` week steps in well under a second — and inside
+  already-parallel campaign sweeps unless the fleet itself is the
+  bottleneck (worker counts multiply: W sweep processes x F fleet workers).
 """
 
-from .result import FleetResult, JobAssignment
+from .parallel import (
+    FleetWorkerPool,
+    SiteFinal,
+    SitePayload,
+    fleet_start_method,
+)
+from .result import FleetResult, FleetStepTimings, JobAssignment
 from .routing import (
     CompositeRouter,
     Router,
@@ -84,6 +115,11 @@ __all__ = [
     "parse_router",
     "make_router",
     "FleetSimulator",
+    "FleetWorkerPool",
+    "SitePayload",
+    "SiteFinal",
+    "fleet_start_method",
     "FleetResult",
+    "FleetStepTimings",
     "JobAssignment",
 ]

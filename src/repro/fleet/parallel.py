@@ -1,0 +1,404 @@
+"""Process-parallel fleet stepping: per-site simulators on worker processes.
+
+The serial :class:`~repro.fleet.simulator.FleetSimulator` loop advances every
+member site on one core, so fleet wall-clock grows linearly with fleet size.
+This module moves the expensive part — the per-site
+:class:`~repro.cluster.simulator.ClusterSimulator` event loops — onto worker
+processes while the *routing* stays in the coordinator, which is what keeps
+parallel runs bit-identical to serial ones:
+
+* Each worker process hosts one or more member sites (assigned round-robin by
+  member index) and speaks a small command protocol over a duplex
+  :func:`multiprocessing.Pipe`: ``begin`` / ``submit-batch`` / ``advance`` /
+  ``snapshot`` / ``power-summary`` / ``finalize`` / ``stop``.
+* The coordinator routes one hourly window at a time from the workers'
+  :class:`~repro.fleet.routing.SiteSnapshot` states, ships one batched
+  ``submit-batch`` message per worker per window, then pipelines the
+  ``advance`` command behind it — pipes are ordered, so the submit lands
+  first and no round trip is paid between the two.
+* The ``advance`` reply carries the post-advance snapshot state of every
+  hosted site, so routing the next window needs no extra exchange: steady
+  state is exactly two messages down and one message up, per worker, per
+  window.
+
+Routers (which may be stateful, e.g. ``round-robin``'s cursor) never cross
+the process boundary, job batches are routed in trace order, and workers
+execute the identical ``submit → advance`` sequence the serial loop would —
+same dispatch order, same event order, bit-identical per-site job records.
+
+Worker death (a crash, an OOM kill) surfaces as a typed
+:class:`~repro.errors.FleetError` naming the member sites the dead worker
+hosted; worker-side exceptions are forwarded verbatim and re-raised as
+:class:`FleetError` by the coordinator.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..cluster.cooling import CoolingModel
+from ..cluster.resources import Cluster
+from ..cluster.simulator import ClusterSimulator, SimulationConfig, SimulationResult, SitePowerSummary
+from ..core.levers import make_scheduler
+from ..errors import FleetError, SimulationError
+from ..experiments.spec import ScenarioSpec
+from ..grid.iso_ne import IsoNeLikeGrid
+from ..scheduler.job import Job
+
+__all__ = ["SitePayload", "SiteState", "SiteFinal", "FleetWorkerPool", "fleet_start_method"]
+
+
+def fleet_start_method() -> str:
+    """The multiprocessing start method fleet workers use.
+
+    ``fork`` where the platform offers it: workers inherit the registries
+    (custom policies, scorers, scheduler stages) and the shipped substrate
+    arrays without a pickling round trip, and start in a few milliseconds.
+    Elsewhere (``spawn`` platforms) the payloads below are fully picklable,
+    at the cost of a slower worker start.
+    """
+    return "fork" if "fork" in mp.get_all_start_methods() else mp.get_start_method(allow_none=False)
+
+
+@dataclass(frozen=True)
+class SitePayload:
+    """Everything a worker needs to build one member site's simulator.
+
+    The substrates (``weather_hourly_c``, ``grid``) are the coordinator
+    session's *already built* arrays, shipped rather than rebuilt, so the
+    worker's simulator consumes bit-identical inputs to a serial run over the
+    same session.
+    """
+
+    index: int
+    spec: ScenarioSpec
+    policy: str
+    horizon_h: float
+    power_cap_fraction: Optional[float]
+    weather_hourly_c: np.ndarray
+    grid: IsoNeLikeGrid
+
+
+#: Post-advance routing state of one site, as shipped over the pipe:
+#: ``(queue_length, running_jobs, free_gpus, it_power_w, carbon, price,
+#: renewable)`` — the per-site :class:`~repro.fleet.routing.SiteSnapshot`
+#: fields the coordinator cannot know without asking the simulator.
+SiteState = tuple  # noqa: UP006 - 7-tuple documented above
+
+
+@dataclass(frozen=True)
+class SiteFinal:
+    """One site's end-of-run payload: full result, power summary, timings."""
+
+    result: SimulationResult
+    power: SitePowerSummary
+    advance_wall_s: float
+
+
+def build_site_simulator(payload: SitePayload) -> ClusterSimulator:
+    """Construct one member site's simulator from its shipped payload.
+
+    Raises the same :class:`FleetError` a serial
+    :meth:`FleetSimulator._build_sites` would, so a member that cannot host
+    the horizon fails identically in both modes.
+    """
+    spec = payload.spec
+    try:
+        return ClusterSimulator(
+            Cluster(spec.facility, gpu_model=spec.workload.gpu_model),
+            make_scheduler(payload.policy, payload.power_cap_fraction),
+            SimulationConfig(horizon_h=payload.horizon_h),
+            weather_hourly_c=payload.weather_hourly_c,
+            cooling=CoolingModel(),
+            grid=payload.grid,
+        )
+    except SimulationError as exc:
+        raise FleetError(
+            f"fleet member {spec.name!r} cannot host a "
+            f"{payload.horizon_h / 24.0:.1f}-day horizon: {exc}"
+        ) from None
+
+
+def site_state(simulator: ClusterSimulator, now_h: float) -> SiteState:
+    """The routing-relevant state of ``simulator`` at ``now_h``.
+
+    Field-for-field the simulator reads of
+    :meth:`FleetSimulator._snapshots`, so coordinator-side snapshots built
+    from this tuple match the serial loop's exactly.
+    """
+    context = simulator.scheduling_context(now_h)
+    return (
+        simulator.n_pending,
+        simulator.n_running,
+        simulator.cluster.n_free_gpus,
+        simulator.current_it_power_w,
+        context.carbon_intensity_g_per_kwh,
+        context.price_per_mwh,
+        context.renewable_share,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+def _fleet_worker_main(conn: Any, payloads: Sequence[SitePayload]) -> None:
+    """One worker process: build the hosted sites, then serve the protocol.
+
+    Replies are ``("ok", payload)`` or ``("error", message)``.  Commands that
+    send no reply (``submit-batch``) defer any failure to the next replying
+    command, so the coordinator's pipelined send pattern still observes it.
+    """
+    sims: dict[int, ClusterSimulator] = {}
+    advance_wall: dict[int, float] = {}
+    deferred_error: Optional[str] = None
+    try:
+        try:
+            for payload in payloads:
+                sims[payload.index] = build_site_simulator(payload)
+                advance_wall[payload.index] = 0.0
+        except Exception as exc:  # noqa: BLE001 - forwarded to the coordinator
+            conn.send(("error", str(exc)))
+            return
+        conn.send(("ok", sorted(sims)))
+        while True:
+            message = conn.recv()
+            command = message[0]
+            if command == "stop":
+                return
+            try:
+                if deferred_error is not None and command != "submit-batch":
+                    error, deferred_error = deferred_error, None
+                    conn.send(("error", error))
+                    continue
+                if command == "begin":
+                    for index in sorted(sims):
+                        sims[index].begin()
+                    conn.send(("ok", {i: site_state(sims[i], 0.0) for i in sorted(sims)}))
+                elif command == "submit-batch":
+                    _, batches = message
+                    for index in sorted(batches):
+                        for job in batches[index]:
+                            sims[index].submit(job)
+                elif command == "advance":
+                    _, until_h, snapshot_h = message
+                    for index in sorted(sims):
+                        t0 = time.perf_counter()
+                        sims[index].advance(until_h)
+                        advance_wall[index] += time.perf_counter() - t0
+                    conn.send(
+                        ("ok", {i: site_state(sims[i], snapshot_h) for i in sorted(sims)})
+                    )
+                elif command == "snapshot":
+                    _, at_h = message
+                    conn.send(("ok", {i: site_state(sims[i], at_h) for i in sorted(sims)}))
+                elif command == "power-summary":
+                    conn.send(("ok", {i: sims[i].site_power_summary() for i in sorted(sims)}))
+                elif command == "finalize":
+                    finals = {}
+                    for index in sorted(sims):
+                        result = sims[index].finalize()
+                        finals[index] = SiteFinal(
+                            result=result,
+                            power=sims[index].site_power_summary(),
+                            advance_wall_s=advance_wall[index],
+                        )
+                    conn.send(("ok", finals))
+                else:
+                    conn.send(("error", f"unknown fleet worker command {command!r}"))
+            except Exception as exc:  # noqa: BLE001 - forwarded to the coordinator
+                if command == "submit-batch":
+                    deferred_error = str(exc)
+                else:
+                    conn.send(("error", str(exc)))
+    except (EOFError, OSError, KeyboardInterrupt):  # coordinator went away
+        return
+    finally:
+        conn.close()
+
+
+# ---------------------------------------------------------------------------
+# Coordinator side
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _WorkerHandle:
+    """One live worker: its process, pipe end, and the site indices it hosts."""
+
+    process: Any
+    conn: Any
+    site_indices: tuple[int, ...]
+    site_names: tuple[str, ...]
+    #: Set when the worker died or errored; further exchanges refuse early.
+    failed: bool = field(default=False)
+
+
+class FleetWorkerPool:
+    """Coordinator end of the fleet worker protocol.
+
+    Spawns ``n_workers`` processes (capped at the number of sites), assigns
+    member sites round-robin by index, and exposes the protocol as bulk
+    operations over all sites: every method sends to the relevant workers
+    first and only then collects replies, so workers run concurrently.
+
+    Use as a context manager; :meth:`close` is idempotent and always
+    terminates stragglers.
+    """
+
+    def __init__(self, payloads: Sequence[SitePayload], n_workers: int) -> None:
+        if not payloads:
+            raise FleetError("fleet worker pool needs at least one site payload")
+        self._payloads = tuple(payloads)
+        self.n_workers = max(1, min(int(n_workers), len(self._payloads)))
+        self.workers: list[_WorkerHandle] = []
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the workers and wait until every one has built its sites."""
+        context = mp.get_context(fleet_start_method())
+        assigned: list[list[SitePayload]] = [[] for _ in range(self.n_workers)]
+        for position, payload in enumerate(self._payloads):
+            assigned[position % self.n_workers].append(payload)
+        for worker_payloads in assigned:
+            parent_conn, child_conn = context.Pipe(duplex=True)
+            process = context.Process(
+                target=_fleet_worker_main,
+                args=(child_conn, worker_payloads),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self.workers.append(
+                _WorkerHandle(
+                    process=process,
+                    conn=parent_conn,
+                    site_indices=tuple(p.index for p in worker_payloads),
+                    site_names=tuple(p.spec.name for p in worker_payloads),
+                )
+            )
+        # The build acknowledgement doubles as the construction error channel.
+        for worker in self.workers:
+            self._recv(worker)
+
+    def __enter__(self) -> "FleetWorkerPool":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Stop every worker; escalate to terminate/kill for stragglers."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self.workers:
+            try:
+                worker.conn.send(("stop",))
+            except (OSError, BrokenPipeError, ValueError):
+                pass
+        for worker in self.workers:
+            worker.process.join(timeout=5.0)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+            if worker.process.is_alive():  # pragma: no cover - last resort
+                worker.process.kill()
+            worker.conn.close()
+
+    # ------------------------------------------------------------------
+    # Exchange plumbing
+    # ------------------------------------------------------------------
+    def _dead(self, worker: _WorkerHandle, cause: str) -> FleetError:
+        worker.failed = True
+        names = ", ".join(repr(name) for name in worker.site_names)
+        return FleetError(
+            f"fleet worker hosting site(s) {names} {cause}; "
+            "the co-simulation cannot continue"
+        )
+
+    def _send(self, worker: _WorkerHandle, message: tuple) -> None:
+        if worker.failed:
+            raise self._dead(worker, "already failed")
+        try:
+            worker.conn.send(message)
+        except (OSError, BrokenPipeError, ValueError) as exc:
+            raise self._dead(worker, f"died (pipe closed: {exc})") from None
+
+    def _recv(self, worker: _WorkerHandle) -> Any:
+        try:
+            status, payload = worker.conn.recv()
+        except (EOFError, OSError) as exc:
+            raise self._dead(
+                worker, f"died mid-run (exit code {worker.process.exitcode}, {exc!r})"
+            ) from None
+        if status != "ok":
+            worker.failed = True
+            names = ", ".join(repr(name) for name in worker.site_names)
+            raise FleetError(f"fleet worker hosting site(s) {names} failed: {payload}")
+        return payload
+
+    def _collect(self, workers: Sequence[_WorkerHandle]) -> dict[int, Any]:
+        merged: dict[int, Any] = {}
+        for worker in workers:
+            merged.update(self._recv(worker))
+        return merged
+
+    # ------------------------------------------------------------------
+    # Protocol operations (bulk, over all sites)
+    # ------------------------------------------------------------------
+    def begin(self) -> dict[int, SiteState]:
+        """``begin`` every site; returns each site's state at hour 0."""
+        for worker in self.workers:
+            self._send(worker, ("begin",))
+        return self._collect(self.workers)
+
+    def submit_batch(self, batches: Mapping[int, Sequence[Job]]) -> None:
+        """Ship one window's routed jobs — one message per involved worker.
+
+        Sends no reply (the next ``advance``/``snapshot``/``finalize`` reply
+        reports any deferred submit failure), so the coordinator can pipeline
+        the window's ``advance`` right behind it.
+        """
+        if not batches:
+            return
+        for worker in self.workers:
+            worker_batches = {
+                index: list(batches[index]) for index in worker.site_indices if index in batches
+            }
+            if worker_batches:
+                self._send(worker, ("submit-batch", worker_batches))
+
+    def advance(self, until_h: float, snapshot_h: float) -> dict[int, SiteState]:
+        """Advance every site to ``until_h``; returns states at ``snapshot_h``."""
+        for worker in self.workers:
+            self._send(worker, ("advance", until_h, snapshot_h))
+        return self._collect(self.workers)
+
+    def snapshot(self, at_h: float) -> dict[int, SiteState]:
+        """Fresh per-site states at ``at_h`` without advancing anything."""
+        for worker in self.workers:
+            self._send(worker, ("snapshot", at_h))
+        return self._collect(self.workers)
+
+    def power_summary(self) -> dict[int, SitePowerSummary]:
+        """Mid-run (or post-run) per-site power summaries, by member index."""
+        for worker in self.workers:
+            self._send(worker, ("power-summary",))
+        return self._collect(self.workers)
+
+    def finalize(self) -> dict[int, SiteFinal]:
+        """Finalize every site; returns results, power summaries and timings."""
+        for worker in self.workers:
+            self._send(worker, ("finalize",))
+        return self._collect(self.workers)

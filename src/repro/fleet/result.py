@@ -20,7 +20,7 @@ from ..cluster.simulator import SimulationResult, SitePowerSummary
 from ..config import config_to_jsonable
 from ..errors import FleetError
 
-__all__ = ["JobAssignment", "FleetResult"]
+__all__ = ["JobAssignment", "FleetStepTimings", "FleetResult"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -32,6 +32,67 @@ class JobAssignment:
     site_name: str
     submit_time_h: float
     dispatch_hour: int
+
+
+@dataclass(frozen=True, slots=True)
+class FleetStepTimings:
+    """Wall-clock breakdown of one fleet run's lockstep loop.
+
+    Recorded by :meth:`~repro.fleet.simulator.FleetSimulator.run` in both
+    stepping modes, so serial-vs-parallel speedup is observable from the
+    result object itself, not just an external benchmark harness.
+
+    Attributes
+    ----------
+    mode / n_workers:
+        ``"serial"`` (in-process stepping) or ``"parallel"`` (worker
+        processes), and the number of stepping workers actually used.
+    n_windows:
+        Number of hourly dispatch windows in the run.
+    total_s:
+        Wall time of the whole run (build + loop + finalize).
+    route_s:
+        Coordinator time spent routing arrivals (snapshot build + router
+        selection + assignment bookkeeping), summed over windows.
+    advance_s:
+        Coordinator wall time spent advancing the sites: the serial per-site
+        advance loop, or — in parallel mode — the time waiting on the
+        workers' ``advance`` replies.
+    site_advance_s:
+        Per-site cumulative ``advance`` wall seconds, in member order
+        (measured inside the worker for parallel runs).  Their max is the
+        parallel critical path; their sum is the serial cost.
+    """
+
+    mode: str
+    n_workers: int
+    n_windows: int
+    total_s: float
+    route_s: float
+    advance_s: float
+    site_advance_s: tuple[float, ...]
+
+    @property
+    def max_site_advance_s(self) -> float:
+        """The slowest site's cumulative advance time (parallel critical path)."""
+        return max(self.site_advance_s) if self.site_advance_s else 0.0
+
+    @property
+    def sum_site_advance_s(self) -> float:
+        """All sites' advance time summed (what a serial loop must pay)."""
+        return float(sum(self.site_advance_s))
+
+    def to_dict(self) -> dict[str, Any]:
+        """Strict-JSON-ready dictionary form of the timing breakdown."""
+        return {
+            "mode": self.mode,
+            "n_workers": self.n_workers,
+            "n_windows": self.n_windows,
+            "total_s": self.total_s,
+            "route_s": self.route_s,
+            "advance_s": self.advance_s,
+            "site_advance_s": list(self.site_advance_s),
+        }
 
 
 @dataclass(frozen=True)
@@ -52,6 +113,9 @@ class FleetResult:
         power-accounting API; fleet aggregation reads these).
     assignments:
         The job→site table, in dispatch order.
+    step_timings:
+        Wall-clock breakdown of the lockstep loop (:class:`FleetStepTimings`);
+        ``None`` only for results constructed outside the simulator.
     """
 
     fleet_name: str
@@ -61,6 +125,7 @@ class FleetResult:
     site_results: tuple[SimulationResult, ...]
     site_power: tuple[SitePowerSummary, ...]
     assignments: tuple[JobAssignment, ...]
+    step_timings: Optional[FleetStepTimings] = None
 
     def __post_init__(self) -> None:
         if len(self.site_names) != len(self.site_results) or len(self.site_names) != len(
@@ -249,6 +314,8 @@ class FleetResult:
             "sites": config_to_jsonable(self.site_rows()),
             "dispatch_counts": self.dispatch_counts(),
         }
+        if self.step_timings is not None:
+            payload["step_timings"] = self.step_timings.to_dict()
         if include_assignments:
             payload["assignments"] = [
                 {

@@ -13,6 +13,13 @@ reproduces the single-site :class:`~repro.experiments.ExperimentSession`
 results **bit-identically** — the parity anchor of the subsystem's tests —
 and every fleet total is the exact sum of its member-site totals.
 
+The member sites step either in-process (the default) or on worker processes
+(``parallel=ParallelConfig(n_workers=N)``, see :mod:`repro.fleet.parallel`).
+Both modes share this module's coordinator loop — routing state, in-window
+snapshot bumping, dispatch order — and both step the same
+:class:`ClusterSimulator` against the same shipped substrates, so their
+per-site job records are bit-identical; only the wall-clock differs.
+
 The shared workload arrives from the first member's trace configuration (one
 generator, one seed), mirroring
 :meth:`~repro.experiments.ExperimentSession.job_trace`; substrates are built
@@ -23,31 +30,85 @@ fleet builds each site's world once, not R times.
 from __future__ import annotations
 
 import math
-from typing import Optional, Sequence, Union
+import time
+from typing import Any, Mapping, Optional, Sequence, Union
 
-from ..cluster.cooling import CoolingModel
-from ..cluster.resources import Cluster
-from ..cluster.simulator import ClusterSimulator, SimulationConfig
-from ..core.levers import make_scheduler
-from ..errors import FleetError, SimulationError
+from ..errors import FleetError
 from ..experiments.session import ExperimentSession
-from ..experiments.spec import ScenarioSpec
+from ..parallel.pool import ParallelConfig
 from ..scheduler.job import Job
-from .result import FleetResult, JobAssignment
+from .parallel import (
+    FleetWorkerPool,
+    SiteFinal,
+    SitePayload,
+    SiteState,
+    build_site_simulator,
+    site_state,
+)
+from .result import FleetResult, FleetStepTimings, JobAssignment
 from .routing import Router, SiteSnapshot, make_router
 from .spec import FleetSpec
 
 __all__ = ["FleetSimulator"]
 
 
-class _FleetSite:
-    """One member site mid-co-simulation: spec, simulator and counters."""
+class _SerialBackend:
+    """In-process stepping of the member sites (the ``workers<=1`` path).
 
-    def __init__(self, index: int, spec: ScenarioSpec, simulator: ClusterSimulator) -> None:
-        self.index = index
-        self.spec = spec
-        self.simulator = simulator
-        self.dispatched = 0
+    Speaks the same bulk operations as :class:`~repro.fleet.parallel.
+    FleetWorkerPool` so the coordinator loop in :meth:`FleetSimulator.run`
+    is one piece of code for both modes.
+    """
+
+    n_workers = 1
+
+    def __init__(self, payloads: Sequence[SitePayload]) -> None:
+        self._payloads = tuple(payloads)
+        self._sims: dict[int, Any] = {}
+        self._advance_wall: dict[int, float] = {}
+
+    def __enter__(self) -> "_SerialBackend":
+        for payload in self._payloads:
+            self._sims[payload.index] = build_site_simulator(payload)
+            self._advance_wall[payload.index] = 0.0
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        pass
+
+    def _states(self, at_h: float) -> dict[int, SiteState]:
+        return {index: site_state(sim, at_h) for index, sim in self._sims.items()}
+
+    def begin(self) -> dict[int, SiteState]:
+        for index in sorted(self._sims):
+            self._sims[index].begin()
+        return self._states(0.0)
+
+    def submit_batch(self, batches: Mapping[int, Sequence[Job]]) -> None:
+        for index in sorted(batches):
+            for job in batches[index]:
+                self._sims[index].submit(job)
+
+    def advance(self, until_h: float, snapshot_h: float) -> dict[int, SiteState]:
+        for index in sorted(self._sims):
+            t0 = time.perf_counter()
+            self._sims[index].advance(until_h)
+            self._advance_wall[index] += time.perf_counter() - t0
+        return self._states(snapshot_h)
+
+    def snapshot(self, at_h: float) -> dict[int, SiteState]:
+        return self._states(at_h)
+
+    def finalize(self) -> dict[int, SiteFinal]:
+        finals = {}
+        for index in sorted(self._sims):
+            sim = self._sims[index]
+            finals[index] = SiteFinal(
+                result=sim.finalize(),
+                power=sim.site_power_summary(),
+                advance_wall_s=self._advance_wall[index],
+            )
+        return finals
 
 
 class FleetSimulator:
@@ -69,6 +130,15 @@ class FleetSimulator:
         Simulated horizon in hours (shared by all sites).
     power_cap_fraction:
         Optional GPU power-cap lever handed to the per-site scheduler.
+    parallel:
+        Execution configuration for the stepping itself.  ``None`` or a
+        resolved worker count of 1 steps every site in-process (serial
+        lockstep); more than one worker steps the sites on worker processes
+        (:mod:`repro.fleet.parallel`) with bit-identical per-site records.
+        ``n_workers=0`` means "all cores".  Unlike the sweep layer,
+        ``min_tasks_for_processes`` does not apply here — an explicit
+        multi-worker request always parallelises, even a one-site fleet
+        (which is how the degenerate parity tests exercise the worker path).
     session:
         Substrate cache to build member worlds through; a private
         :class:`ExperimentSession` keyed to the first member is created when
@@ -84,6 +154,7 @@ class FleetSimulator:
         policy: str = "backfill",
         horizon_h: float = 7 * 24.0,
         power_cap_fraction: Optional[float] = None,
+        parallel: Optional[ParallelConfig] = None,
         session: Optional[ExperimentSession] = None,
     ) -> None:
         if isinstance(fleet, str):
@@ -95,66 +166,46 @@ class FleetSimulator:
         self.policy = policy
         self.horizon_h = float(horizon_h)
         self.power_cap_fraction = power_cap_fraction
+        self.parallel = parallel
         self._session = session if session is not None else ExperimentSession(fleet.members[0])
 
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
-    def _build_sites(self) -> list[_FleetSite]:
-        sites = []
+    def _site_payloads(self) -> list[SitePayload]:
+        """One buildable payload per member, substrates already built.
+
+        The session builds (and caches) each member's weather and grid once;
+        payloads ship those arrays to whichever backend steps the site, so
+        serial and parallel runs consume bit-identical substrate inputs.
+        """
+        payloads = []
         for index, spec in enumerate(self.fleet.members):
             scenario = self._session.scenario(spec)
-            try:
-                simulator = ClusterSimulator(
-                    Cluster(spec.facility, gpu_model=spec.workload.gpu_model),
-                    make_scheduler(self.policy, self.power_cap_fraction),
-                    SimulationConfig(horizon_h=self.horizon_h),
+            payloads.append(
+                SitePayload(
+                    index=index,
+                    spec=spec,
+                    policy=self.policy,
+                    horizon_h=self.horizon_h,
+                    power_cap_fraction=self.power_cap_fraction,
                     weather_hourly_c=scenario.weather_hourly_c,
-                    cooling=CoolingModel(),
                     grid=scenario.grid,
                 )
-            except SimulationError as exc:
-                raise FleetError(
-                    f"fleet member {spec.name!r} cannot host a "
-                    f"{self.horizon_h / 24.0:.1f}-day horizon: {exc}"
-                ) from None
-            sites.append(_FleetSite(index, spec, simulator))
-        return sites
+            )
+        return payloads
+
+    def _requested_workers(self) -> int:
+        """The resolved stepping worker count (1 = serial lockstep)."""
+        if self.parallel is None:
+            return 1
+        return self.parallel.resolved_workers()
 
     def shared_job_trace(self, *, n_jobs: int = 300) -> list[Job]:
         """The fleet's shared workload: the first member's generated trace."""
         return self._session.job_trace(
             n_jobs=n_jobs, horizon_h=self.horizon_h, spec=self.fleet.members[0]
         )
-
-    def _snapshots(self, sites: Sequence[_FleetSite], now_h: float) -> list[SiteSnapshot]:
-        """Fresh snapshots of every site at ``now_h`` (one context read each).
-
-        Built once per dispatch window: grid signals only change hourly, and
-        queue/occupancy state only changes when a site ``advance``\\ s.  Within
-        a window, :meth:`run` updates the receiving site's snapshot
-        incrementally after each dispatch so routers see in-flight arrivals.
-        """
-        snapshots = []
-        for site in sites:
-            simulator = site.simulator
-            context = simulator.scheduling_context(now_h)
-            snapshots.append(
-                SiteSnapshot(
-                    index=site.index,
-                    name=site.spec.name,
-                    queue_length=simulator.n_pending,
-                    running_jobs=simulator.n_running,
-                    free_gpus=simulator.cluster.n_free_gpus,
-                    total_gpus=site.spec.facility.total_gpus,
-                    it_power_w=simulator.current_it_power_w,
-                    carbon_intensity_g_per_kwh=context.carbon_intensity_g_per_kwh,
-                    price_per_mwh=context.price_per_mwh,
-                    renewable_share=context.renewable_share,
-                    dispatched=site.dispatched,
-                )
-            )
-        return snapshots
 
     # ------------------------------------------------------------------
     # The lockstep loop
@@ -172,69 +223,128 @@ class FleetSimulator:
         # sequence is identical to a monolithic run of its assigned jobs.
         trace.sort(key=lambda job: job.submit_time_h)
 
-        sites = self._build_sites()
-        for site in sites:
-            site.simulator.begin()
-        self.router.begin_fleet(len(sites))
+        members = self.fleet.members
+        member_names = self.fleet.member_names
+        workers = self._requested_workers()
+        backend: Any
+        if workers > 1:
+            backend = FleetWorkerPool(self._site_payloads(), workers)
+        else:
+            backend = _SerialBackend(self._site_payloads())
 
+        t_start = time.perf_counter()
+        route_s = 0.0
+        advance_s = 0.0
+        dispatched = [0] * len(members)
         assignments: list[JobAssignment] = []
-        snapshots: Optional[list[SiteSnapshot]] = None
+        self.router.begin_fleet(len(members))
 
-        def dispatch(job: Job, now_h: float, hour: int) -> None:
-            nonlocal snapshots
-            if snapshots is None:  # first arrival of this window
-                snapshots = self._snapshots(sites, now_h)
-            index = self.router.select(job, snapshots, now_h)
-            if not 0 <= index < len(sites):
-                raise FleetError(
-                    f"router {self.router.name!r} returned site index {index!r} "
-                    f"for job {job.job_id!r} (fleet has {len(sites)} sites)"
+        def make_snapshots(states: Mapping[int, SiteState]) -> list[SiteSnapshot]:
+            snapshots = []
+            for index, member in enumerate(members):
+                queue, running, free, it_power, carbon, price, renewable = states[index]
+                snapshots.append(
+                    SiteSnapshot(
+                        index=index,
+                        name=member.name,
+                        queue_length=queue,
+                        running_jobs=running,
+                        free_gpus=free,
+                        total_gpus=member.facility.total_gpus,
+                        it_power_w=it_power,
+                        carbon_intensity_g_per_kwh=carbon,
+                        price_per_mwh=price,
+                        renewable_share=renewable,
+                        dispatched=dispatched[index],
+                    )
                 )
-            site = sites[index]
-            site.simulator.submit(job.clone_pending())
-            site.dispatched += 1
-            # In-flight accounting: later arrivals of the same window see the
-            # receiving site's queue grow (its simulator only drains the
-            # submit when it next advances).
-            chosen = snapshots[index]
-            chosen.queue_length += 1
-            chosen.dispatched = site.dispatched
-            assignments.append(
-                JobAssignment(
-                    job_id=job.job_id,
-                    site_index=site.index,
-                    site_name=site.spec.name,
-                    submit_time_h=job.submit_time_h,
-                    dispatch_hour=hour,
+            return snapshots
+
+        def route_window(
+            window: Sequence[Job], states: Mapping[int, SiteState], now_h: float, hour: int
+        ) -> dict[int, list[Job]]:
+            """Route one window's arrivals; returns per-site submit batches.
+
+            Snapshots are built once per window; the receiving site's snapshot
+            is bumped in place after each dispatch so routers see in-flight
+            arrivals — identical bookkeeping in serial and parallel mode.
+            """
+            snapshots = make_snapshots(states)
+            batches: dict[int, list[Job]] = {}
+            for job in window:
+                index = self.router.select(job, snapshots, now_h)
+                if not 0 <= index < len(members):
+                    raise FleetError(
+                        f"router {self.router.name!r} returned site index {index!r} "
+                        f"for job {job.job_id!r} (fleet has {len(members)} sites)"
+                    )
+                dispatched[index] += 1
+                chosen = snapshots[index]
+                chosen.queue_length += 1
+                chosen.dispatched = dispatched[index]
+                batches.setdefault(index, []).append(job.clone_pending())
+                assignments.append(
+                    JobAssignment(
+                        job_id=job.job_id,
+                        site_index=index,
+                        site_name=member_names[index],
+                        submit_time_h=job.submit_time_h,
+                        dispatch_hour=hour,
+                    )
                 )
-            )
+            return batches
 
         n_hours = int(math.ceil(self.horizon_h))
         cursor = 0
-        for hour in range(n_hours):
-            # Route this window's arrivals first, then advance every site
-            # through the window — submits at instant `hour` must be enqueued
-            # before that instant's events are drained.
-            while cursor < len(trace) and trace[cursor].submit_time_h < hour + 1:
-                dispatch(trace[cursor], float(hour), hour)
-                cursor += 1
-            snapshots = None
-            for site in sites:
-                site.simulator.advance(hour + 1)
-        # Jobs submitting at/after the horizon still get routed (and recorded
-        # as never-started), so every generated job is dispatched exactly once.
-        while cursor < len(trace):
-            dispatch(trace[cursor], self.horizon_h, n_hours)
-            cursor += 1
+        with backend:
+            states = backend.begin()
+            for hour in range(n_hours):
+                # Route this window's arrivals first, then advance every site
+                # through the window — submits at instant `hour` must be
+                # enqueued before that instant's events are drained.
+                window = []
+                while cursor < len(trace) and trace[cursor].submit_time_h < hour + 1:
+                    window.append(trace[cursor])
+                    cursor += 1
+                if window:
+                    t0 = time.perf_counter()
+                    batches = route_window(window, states, float(hour), hour)
+                    route_s += time.perf_counter() - t0
+                    backend.submit_batch(batches)
+                t0 = time.perf_counter()
+                states = backend.advance(hour + 1.0, float(hour + 1))
+                advance_s += time.perf_counter() - t0
+            if cursor < len(trace):
+                # Jobs submitting at/after the horizon still get routed (and
+                # recorded as never-started), so every generated job is
+                # dispatched exactly once.  Their routing context is clamped
+                # to the last in-horizon dispatch window: the grid/weather
+                # series end at the horizon boundary, and the hour after the
+                # simulation ends carries no signal.
+                tail_h = min(self.horizon_h, float(max(n_hours - 1, 0)))
+                states = backend.snapshot(tail_h)
+                t0 = time.perf_counter()
+                batches = route_window(trace[cursor:], states, tail_h, n_hours)
+                route_s += time.perf_counter() - t0
+                backend.submit_batch(batches)
+            finals = backend.finalize()
 
-        site_results = tuple(site.simulator.finalize() for site in sites)
-        site_power = tuple(site.simulator.site_power_summary() for site in sites)
+        step_timings = FleetStepTimings(
+            mode="parallel" if workers > 1 else "serial",
+            n_workers=backend.n_workers,
+            n_windows=n_hours,
+            total_s=time.perf_counter() - t_start,
+            route_s=route_s,
+            advance_s=advance_s,
+            site_advance_s=tuple(finals[i].advance_wall_s for i in range(len(members))),
+        )
         return FleetResult(
             fleet_name=self.fleet.name,
             router=self.router.name,
             policy=self.policy,
-            site_names=self.fleet.member_names,
-            site_results=site_results,
-            site_power=site_power,
+            site_names=member_names,
+            site_results=tuple(finals[i].result for i in range(len(members))),
+            site_power=tuple(finals[i].power for i in range(len(members))),
             assignments=tuple(assignments),
+            step_timings=step_timings,
         )

@@ -76,6 +76,114 @@ REGION_GRIDS: dict[str, GridSpec] = {
         ),
         price=LmpPriceConfig(base_price_per_mwh=24.0, winter_gas_premium=1.05),
     ),
+    # Pacific Northwest (BPA): hydro-dominated, cheap, spring-runoff rich;
+    # modest wind, winter heating load.
+    "BPA": GridSpec(
+        fuel=FuelMixConfig(
+            solar_peak_share=0.03,
+            wind_mean_share=0.08,
+            hydro_share=0.55,
+            nuclear_share=0.04,
+            weather_noise_std=0.14,
+            winter_demand_bump=0.06,
+        ),
+        price=LmpPriceConfig(base_price_per_mwh=27.0, winter_gas_premium=1.08),
+    ),
+    # Texas (ERCOT): strong wind (West Texas nights), growing solar, hot
+    # summer demand peak with scarcity pricing, no winter gas premium.
+    "ERCO": GridSpec(
+        fuel=FuelMixConfig(
+            solar_peak_share=0.12,
+            wind_mean_share=0.22,
+            wind_seasonal_amplitude=0.30,
+            hydro_share=0.01,
+            nuclear_share=0.10,
+            demand_peak_month=8,
+            demand_seasonal_amplitude=0.24,
+            winter_demand_bump=0.02,
+        ),
+        price=LmpPriceConfig(
+            base_price_per_mwh=30.0, demand_elasticity=2.4, winter_gas_premium=1.0
+        ),
+    ),
+    # Colorado (PSCO): front-range wind plus high-altitude solar over a coal/
+    # gas base, continental seasons.
+    "PSCO": GridSpec(
+        fuel=FuelMixConfig(
+            solar_peak_share=0.14,
+            wind_mean_share=0.24,
+            hydro_share=0.02,
+            nuclear_share=0.0,
+        ),
+        price=LmpPriceConfig(base_price_per_mwh=32.0, winter_gas_premium=1.06),
+    ),
+    # US Southeast (Southern Co.): nuclear + gas baseload, some utility
+    # solar, hot summers, mild winters.
+    "SOCO": GridSpec(
+        fuel=FuelMixConfig(
+            solar_peak_share=0.10,
+            wind_mean_share=0.005,
+            hydro_share=0.03,
+            nuclear_share=0.16,
+            demand_peak_month=7,
+            winter_demand_bump=0.03,
+        ),
+        price=LmpPriceConfig(base_price_per_mwh=36.0, winter_gas_premium=1.05),
+    ),
+    # California (CAISO): very strong midday solar (duck curve), modest wind,
+    # expensive evenings, negligible winter gas effect.
+    "CISO": GridSpec(
+        fuel=FuelMixConfig(
+            solar_peak_share=0.34,
+            solar_seasonal_amplitude=0.30,
+            wind_mean_share=0.07,
+            hydro_share=0.09,
+            nuclear_share=0.08,
+            demand_peak_month=8,
+        ),
+        price=LmpPriceConfig(
+            base_price_per_mwh=42.0, renewable_discount=0.65, winter_gas_premium=1.0
+        ),
+    ),
+    # Upper Midwest (MISO North): plains wind over a nuclear/coal base,
+    # four-season demand with both summer and winter peaks.
+    "MISO": GridSpec(
+        fuel=FuelMixConfig(
+            solar_peak_share=0.04,
+            wind_mean_share=0.14,
+            wind_seasonal_amplitude=0.35,
+            hydro_share=0.01,
+            nuclear_share=0.14,
+            winter_demand_bump=0.06,
+        ),
+        price=LmpPriceConfig(base_price_per_mwh=31.0, winter_gas_premium=1.12),
+    ),
+    # Mid-Atlantic (PJM): nuclear-heavy baseload, little wind/solar inside
+    # data-center alley, moderate winter gas exposure.
+    "PJM": GridSpec(
+        fuel=FuelMixConfig(
+            solar_peak_share=0.03,
+            wind_mean_share=0.035,
+            hydro_share=0.02,
+            nuclear_share=0.33,
+            winter_demand_bump=0.05,
+        ),
+        price=LmpPriceConfig(base_price_per_mwh=34.0, winter_gas_premium=1.15),
+    ),
+    # Québec (Hydro-Québec): near-total hydro, very cheap and near-zero
+    # carbon, strong winter heating peak.
+    "HQ": GridSpec(
+        fuel=FuelMixConfig(
+            solar_peak_share=0.005,
+            wind_mean_share=0.04,
+            hydro_share=0.74,
+            nuclear_share=0.0,
+            weather_noise_std=0.08,
+            demand_peak_month=1,
+            winter_demand_bump=0.08,
+        ),
+        price=LmpPriceConfig(base_price_per_mwh=22.0, winter_gas_premium=1.04),
+    ),
 }
 
 
@@ -233,6 +341,71 @@ register_fleet(
         description=(
             "three small-facility sites across climates (Holyoke-like, desert, "
             "subarctic) — the standard fleet of the examples and tests"
+        ),
+    )
+)
+register_fleet(
+    FleetSpec(
+        name="quad-climate-medium",
+        members=(
+            "supercloud-medium",
+            "supercloud-medium@phoenix-az",
+            "supercloud-medium@columbia-wa",
+            "supercloud-medium@dallas-tx",
+        ),
+        router="least-queued",
+        description=(
+            "four medium (256-GPU) sites across climates and grid regions — "
+            "the parallel-vs-serial speedup fleet of the scale benchmarks"
+        ),
+    )
+)
+
+#: The ten continental member sites (one per grid region) shared by the
+#: ``deca-continental-*`` fleets below — the ROADMAP's 10-site study ladder.
+_CONTINENTAL_SITES = (
+    "",  # the home site (Holyoke, ISO-NE)
+    "@phoenix-az",
+    "@columbia-wa",
+    "@dallas-tx",
+    "@denver-co",
+    "@atlanta-ga",
+    "@sanjose-ca",
+    "@chicago-il",
+    "@ashburn-va",
+    "@quebec-qc",
+)
+register_fleet(
+    FleetSpec(
+        name="deca-continental-small",
+        members=tuple(f"supercloud-small{site}" for site in _CONTINENTAL_SITES),
+        router="least-queued",
+        description=(
+            "ten small sites spanning ten North-American grid regions "
+            "(hydro, wind, solar and nuclear dominated) — the continental "
+            "routing-study fleet; pair with --workers N"
+        ),
+    )
+)
+register_fleet(
+    FleetSpec(
+        name="deca-continental-medium",
+        members=tuple(f"supercloud-medium{site}" for site in _CONTINENTAL_SITES),
+        router="least-queued",
+        description=(
+            "the continental ten-site fleet at the medium (256-GPU) tier — "
+            "sized so parallel stepping pays; pair with --workers N"
+        ),
+    )
+)
+register_fleet(
+    FleetSpec(
+        name="duo-xlarge",
+        members=("supercloud-xlarge", "supercloud-xlarge@quebec-qc"),
+        router="carbon-min+free-gpus(min=512)",
+        description=(
+            "the 8192-GPU build-out twinned with a hydro-powered Québec "
+            "sibling — the top rung of the fleet scale ladder"
         ),
     )
 )

@@ -1,0 +1,454 @@
+"""Tests for process-parallel fleet stepping (repro.fleet.parallel).
+
+The contract under test is *parity by construction*: routing stays in the
+coordinator and both backends step identical per-site simulators against
+identical shipped substrates, so a parallel run must be **bit-identical** to
+the serial lockstep loop — same assignments, same per-site job records, same
+totals.  Covers, per the perf issue's acceptance bar:
+
+* hash-pinned serial == parallel parity across several routers (the pins
+  deliberately duplicate ``tests/test_fleet.py`` so drift in either mode is
+  caught) plus a composed per-site policy spec;
+* the degenerate one-site fleet on the worker path vs.
+  :meth:`~repro.experiments.ExperimentSession.simulate_policy`;
+* worker death and worker-side exceptions surfacing as typed
+  :class:`~repro.errors.FleetError`\\ s naming the hosted sites;
+* the :class:`~repro.fleet.result.FleetStepTimings` breakdown;
+* the post-horizon routing-context clamp (trailing jobs are routed at the
+  last in-horizon window, not one hour past the end of the substrate series);
+* the ``--workers`` wiring of ``greenhpc fleet``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.errors import FleetError
+from repro.experiments import ExperimentSession, get_scenario
+from repro.fleet import FleetSimulator, FleetSpec, get_fleet
+from repro.fleet.parallel import (
+    FleetWorkerPool,
+    SitePayload,
+    build_site_simulator,
+    fleet_start_method,
+    site_state,
+)
+from repro.fleet.result import FleetStepTimings
+from repro.fleet.routing import Router
+from repro.parallel import ParallelConfig
+from repro.scheduler.job import Job
+
+SEED = 7
+N_MONTHS = 2
+HORIZON_H = 72.0
+N_JOBS = 120
+WORKERS = 4
+
+#: Routers pinned on the seeded tri-site world.  The hashes duplicate the
+#: serial pins in tests/test_fleet.py on purpose: if either stepping mode
+#: drifts, exactly one of the two files starts failing and says which.
+PINNED_PARALLEL_HASHES = {
+    "round-robin": "12af48094a7c53997bae1d4c77c087fb2cfbc82151a76e171ff2201f7edb97dd",
+    "least-queued": "b456ad124832b0dce2f8eccc9106a8b09175ada1ca5e27021f71c2795169ac47",
+    "carbon-min": "091284e4e854228e5715e3a6ce68657dd2cb629a7f25f37d0a30fb12f7593e49",
+    "carbon-min+free-gpus(min=48)": (
+        "da2f670af5709a196eaf2e06abdbe9d697d187e6d8a7f14ed90b8741200f2277"
+    ),
+}
+
+#: The composed per-site policy pinned for both stepping modes.
+COMPOSED_POLICY = "backfill+carbon(cap=0.7)"
+PINNED_COMPOSED_HASH = (
+    "5dd0d956a09b5d5fbcb73a5251e0418a07d69fbf7db50ad7d2114b9703ac3808"
+)
+
+
+def _fleet_fingerprint(result) -> str:
+    payload = [
+        (a.job_id, a.site_index, a.site_name, a.submit_time_h, a.dispatch_hour)
+        for a in result.assignments
+    ]
+    for site_result in result.site_results:
+        payload.extend(
+            (r.job_id, r.start_time_h, r.finish_time_h, r.energy_j, r.power_cap_w, r.completed)
+            for r in site_result.job_records
+        )
+    return hashlib.sha256(repr(payload).encode()).hexdigest()
+
+
+@pytest.fixture(scope="module")
+def tri_world():
+    """The seeded tri-site world: fleet, shared session, shared trace."""
+    fleet = get_fleet("tri-site-small").with_member_overrides(n_months=N_MONTHS, seed=SEED)
+    session = ExperimentSession(fleet.members[0])
+    trace = session.job_trace(n_jobs=N_JOBS, horizon_h=HORIZON_H, spec=fleet.members[0])
+    for member in fleet.members:
+        session.scenario(member)
+    return fleet, session, trace
+
+
+def _run(fleet, session, trace, *, router=None, policy="backfill", workers=None):
+    parallel = None if workers is None else ParallelConfig(n_workers=workers)
+    return FleetSimulator(
+        fleet,
+        router=router,
+        policy=policy,
+        horizon_h=HORIZON_H,
+        parallel=parallel,
+        session=session,
+    ).run(trace)
+
+
+# ---------------------------------------------------------------------------
+# Hash-pinned serial == parallel parity
+# ---------------------------------------------------------------------------
+
+
+class TestParallelParity:
+    @pytest.mark.parametrize("router", sorted(PINNED_PARALLEL_HASHES))
+    def test_workers_1_vs_4_bit_identical_and_pinned(self, tri_world, router):
+        fleet, session, trace = tri_world
+        serial = _run(fleet, session, trace, router=router, workers=1)
+        parallel = _run(fleet, session, trace, router=router, workers=WORKERS)
+        assert serial.step_timings.mode == "serial"
+        assert parallel.step_timings.mode == "parallel"
+        assert _fleet_fingerprint(serial) == PINNED_PARALLEL_HASHES[router]
+        assert _fleet_fingerprint(parallel) == PINNED_PARALLEL_HASHES[router]
+        assert parallel.assignments == serial.assignments
+
+    def test_composed_policy_spec_bit_identical_and_pinned(self, tri_world):
+        fleet, session, trace = tri_world
+        serial = _run(
+            fleet, session, trace, router="least-queued", policy=COMPOSED_POLICY
+        )
+        parallel = _run(
+            fleet,
+            session,
+            trace,
+            router="least-queued",
+            policy=COMPOSED_POLICY,
+            workers=WORKERS,
+        )
+        assert _fleet_fingerprint(serial) == PINNED_COMPOSED_HASH
+        assert _fleet_fingerprint(parallel) == PINNED_COMPOSED_HASH
+
+    def test_parallel_totals_and_power_series_match_serial(self, tri_world):
+        fleet, session, trace = tri_world
+        serial = _run(fleet, session, trace, router="carbon-min")
+        parallel = _run(fleet, session, trace, router="carbon-min", workers=WORKERS)
+        assert parallel.it_energy_kwh == serial.it_energy_kwh
+        assert parallel.facility_energy_kwh == serial.facility_energy_kwh
+        assert parallel.total_emissions_kg == serial.total_emissions_kg
+        assert parallel.total_cost_usd == serial.total_cost_usd
+        for serial_site, parallel_site in zip(serial.site_results, parallel.site_results):
+            assert parallel_site.job_records == serial_site.job_records
+            np.testing.assert_array_equal(
+                parallel_site.it_power_w, serial_site.it_power_w
+            )
+            np.testing.assert_array_equal(
+                parallel_site.facility_power_w, serial_site.facility_power_w
+            )
+
+    def test_input_trace_left_pristine_by_parallel_run(self, tri_world):
+        fleet, session, trace = tri_world
+        before = [(job.job_id, job.state, job.submit_time_h) for job in trace]
+        _run(fleet, session, trace, router="round-robin", workers=WORKERS)
+        assert [(job.job_id, job.state, job.submit_time_h) for job in trace] == before
+
+
+# ---------------------------------------------------------------------------
+# Degenerate one-site fleet on the worker path
+# ---------------------------------------------------------------------------
+
+
+class TestDegenerateParallelParity:
+    def test_one_site_parallel_fleet_matches_simulate_policy(self):
+        spec = get_scenario("supercloud-small").replace(n_months=N_MONTHS, seed=SEED)
+        session = ExperimentSession(spec)
+        single = session.simulate_policy("backfill", n_jobs=80, horizon_h=HORIZON_H)
+        fleet = FleetSpec(name="solo-parallel-test", members=(spec,))
+        # An explicit multi-worker request parallelises even a one-site fleet
+        # (the pool caps the process count at the number of sites).
+        fleet_result = FleetSimulator(
+            fleet,
+            policy="backfill",
+            horizon_h=HORIZON_H,
+            parallel=ParallelConfig(n_workers=2),
+            session=session,
+        ).run(n_jobs=80)
+        assert fleet_result.step_timings.mode == "parallel"
+        assert fleet_result.step_timings.n_workers == 1
+        (site_result,) = fleet_result.site_results
+        assert site_result.job_records == single.job_records
+        np.testing.assert_array_equal(site_result.it_power_w, single.it_power_w)
+        np.testing.assert_array_equal(
+            site_result.facility_power_w, single.facility_power_w
+        )
+        assert fleet_result.facility_energy_kwh == single.facility_energy_kwh
+        assert fleet_result.total_emissions_kg == single.total_emissions_kg
+
+
+# ---------------------------------------------------------------------------
+# Worker failure paths
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def pool_payloads(tri_world):
+    fleet, session, _ = tri_world
+    return FleetSimulator(fleet, horizon_h=24.0, session=session)._site_payloads()
+
+
+class TestWorkerFailures:
+    def test_dead_worker_raises_fleet_error_naming_its_sites(self, pool_payloads):
+        with FleetWorkerPool(pool_payloads, 2) as pool:
+            pool.begin()
+            victim = pool.workers[0]
+            victim.process.kill()
+            victim.process.join(timeout=5.0)
+            with pytest.raises(FleetError, match="supercloud-small") as excinfo:
+                pool.advance(1.0, 1.0)
+            message = str(excinfo.value)
+            assert "cannot continue" in message
+            for name in victim.site_names:
+                assert repr(name) in message
+
+    def test_worker_side_exception_surfaces_as_fleet_error(self, pool_payloads):
+        with FleetWorkerPool(pool_payloads, 2) as pool:
+            pool.begin()
+            job = Job(
+                job_id="dup", user_id="u", n_gpus=1, duration_h=1.0, submit_time_h=0.0
+            )
+            # A deliberately invalid batch: the duplicate id raises inside the
+            # worker, deferred to the next replying command (submit-batch
+            # itself sends no reply so advance can pipeline behind it).
+            pool.submit_batch({0: [job.clone_pending(), job.clone_pending()]})
+            with pytest.raises(FleetError, match="duplicate job id 'dup'"):
+                pool.advance(1.0, 1.0)
+
+    def test_failed_worker_refuses_further_exchanges(self, pool_payloads):
+        with FleetWorkerPool(pool_payloads, 2) as pool:
+            pool.begin()
+            pool.workers[0].process.kill()
+            pool.workers[0].process.join(timeout=5.0)
+            with pytest.raises(FleetError):
+                pool.advance(1.0, 1.0)
+            with pytest.raises(FleetError, match="already failed"):
+                pool.snapshot(1.0)
+
+    def test_unbuildable_site_fails_at_start(self, pool_payloads):
+        # A horizon longer than the member's substrate series cannot be
+        # hosted; the build acknowledgement forwards the construction error.
+        bad = [
+            SitePayload(
+                index=p.index,
+                spec=p.spec,
+                policy=p.policy,
+                horizon_h=1e9,
+                power_cap_fraction=p.power_cap_fraction,
+                weather_hourly_c=p.weather_hourly_c,
+                grid=p.grid,
+            )
+            for p in pool_payloads
+        ]
+        with pytest.raises(FleetError, match="cannot host"):
+            with FleetWorkerPool(bad, 2):
+                pass
+
+
+# ---------------------------------------------------------------------------
+# The worker protocol beyond the lockstep loop
+# ---------------------------------------------------------------------------
+
+
+class TestWorkerProtocol:
+    def test_mid_run_power_summary_and_snapshot(self, pool_payloads):
+        with FleetWorkerPool(pool_payloads, 2) as pool:
+            assert pool.n_workers == 2
+            states = pool.begin()
+            assert sorted(states) == [0, 1, 2]
+            pool.advance(3.0, 3.0)
+            summaries = pool.power_summary()
+            assert sorted(summaries) == [0, 1, 2]
+            for summary in summaries.values():
+                assert summary.tick_times_h.size == 3  # ticks 0..2 drained
+            again = pool.snapshot(3.0)
+            assert sorted(again) == [0, 1, 2]
+
+    def test_states_match_inprocess_simulator(self, pool_payloads):
+        payload = pool_payloads[0]
+        reference = build_site_simulator(payload)
+        reference.begin()
+        reference.advance(2.0)
+        with FleetWorkerPool(pool_payloads, 2) as pool:
+            pool.begin()
+            states = pool.advance(2.0, 2.0)
+        assert states[payload.index] == site_state(reference, 2.0)
+
+    def test_worker_count_capped_at_sites_and_close_idempotent(self, pool_payloads):
+        pool = FleetWorkerPool(pool_payloads, 64)
+        assert pool.n_workers == len(pool_payloads)
+        with pool:
+            pool.begin()
+        pool.close()  # second close is a no-op
+        assert all(not w.process.is_alive() for w in pool.workers)
+
+    def test_empty_payloads_raise(self):
+        with pytest.raises(FleetError, match="at least one site payload"):
+            FleetWorkerPool([], 2)
+
+    def test_start_method_is_a_registered_one(self):
+        import multiprocessing as mp
+
+        assert fleet_start_method() in mp.get_all_start_methods()
+
+
+# ---------------------------------------------------------------------------
+# Step timings
+# ---------------------------------------------------------------------------
+
+
+class TestStepTimings:
+    def test_serial_and_parallel_breakdowns(self, tri_world):
+        fleet, session, trace = tri_world
+        serial = _run(fleet, session, trace, router="round-robin")
+        parallel = _run(fleet, session, trace, router="round-robin", workers=WORKERS)
+        for result, mode, workers in (
+            (serial, "serial", 1),
+            (parallel, "parallel", min(WORKERS, fleet.n_sites)),
+        ):
+            timings = result.step_timings
+            assert timings.mode == mode
+            assert timings.n_workers == workers
+            assert timings.n_windows == int(HORIZON_H)
+            assert len(timings.site_advance_s) == fleet.n_sites
+            assert timings.total_s > 0
+            assert timings.total_s >= timings.route_s
+            assert timings.max_site_advance_s == max(timings.site_advance_s)
+            assert timings.sum_site_advance_s == pytest.approx(
+                sum(timings.site_advance_s)
+            )
+
+    def test_to_dict_json_round_trip(self, tri_world):
+        fleet, session, trace = tri_world
+        result = _run(fleet, session, trace, router="round-robin", workers=WORKERS)
+        payload = json.loads(json.dumps(result.to_dict()))
+        timings = payload["step_timings"]
+        assert timings["mode"] == "parallel"
+        assert timings["n_workers"] == min(WORKERS, fleet.n_sites)
+        assert len(timings["site_advance_s"]) == fleet.n_sites
+        rebuilt = FleetStepTimings(
+            mode=timings["mode"],
+            n_workers=timings["n_workers"],
+            n_windows=timings["n_windows"],
+            total_s=timings["total_s"],
+            route_s=timings["route_s"],
+            advance_s=timings["advance_s"],
+            site_advance_s=tuple(timings["site_advance_s"]),
+        )
+        assert rebuilt.to_dict() == timings
+
+
+# ---------------------------------------------------------------------------
+# Post-horizon routing-context clamp
+# ---------------------------------------------------------------------------
+
+
+class _RecordingRouter(Router):
+    """Routes everything to site 0 and records every ``now_h`` it was shown."""
+
+    name = "recording"
+
+    def __init__(self):
+        self.now_hours = []
+
+    def begin_fleet(self, n_sites):
+        pass
+
+    def select(self, job, sites, now_h):
+        self.now_hours.append(now_h)
+        return 0
+
+
+class TestPostHorizonClamp:
+    @pytest.mark.parametrize("workers", [None, 2])
+    def test_trailing_jobs_routed_at_last_in_horizon_window(self, tri_world, workers):
+        fleet, session, _ = tri_world
+        jobs = [
+            Job(job_id="in-window", user_id="u", n_gpus=1, duration_h=1.0,
+                submit_time_h=1.5),
+            Job(job_id="at-horizon", user_id="u", n_gpus=1, duration_h=1.0,
+                submit_time_h=HORIZON_H),
+            Job(job_id="past-horizon", user_id="u", n_gpus=1, duration_h=1.0,
+                submit_time_h=HORIZON_H + 40.0),
+        ]
+        router = _RecordingRouter()
+        parallel = None if workers is None else ParallelConfig(n_workers=workers)
+        result = FleetSimulator(
+            fleet,
+            router=router,
+            horizon_h=HORIZON_H,
+            parallel=parallel,
+            session=session,
+        ).run(jobs)
+        # The in-window job sees its own window; both trailing jobs see the
+        # clamped context of the last in-horizon window, never hour 72 (the
+        # substrate series end at the horizon boundary).
+        assert router.now_hours == [1.0, HORIZON_H - 1.0, HORIZON_H - 1.0]
+        trailing = {a.job_id: a for a in result.assignments if a.dispatch_hour == 72}
+        assert set(trailing) == {"at-horizon", "past-horizon"}
+        by_id = {
+            r.job_id: r
+            for site_result in result.site_results
+            for r in site_result.job_records
+        }
+        assert by_id["past-horizon"].completed is False
+        assert by_id["in-window"].completed is True
+
+
+# ---------------------------------------------------------------------------
+# CLI wiring
+# ---------------------------------------------------------------------------
+
+
+class TestFleetWorkersCli:
+    def test_fleet_workers_flag_steps_in_parallel(self, capsys):
+        exit_code = main(
+            [
+                "--months", str(N_MONTHS), "--seed", str(SEED), "--workers", "2",
+                "fleet", "--jobs", "40", "--horizon-days", "2.0", "--json",
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scalars"]["step_workers"] == 2
+        assert any("parallel x2" in note for note in payload["notes"])
+
+    def test_workers_env_var_drives_fleet_stepping(self, capsys, monkeypatch):
+        monkeypatch.setenv("GREENHPC_WORKERS", "2")
+        exit_code = main(
+            [
+                "--months", str(N_MONTHS), "--seed", str(SEED),
+                "fleet", "--jobs", "40", "--horizon-days", "2.0", "--json",
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scalars"]["step_workers"] == 2
+
+    def test_serial_cli_run_reports_serial_stepping(self, capsys):
+        exit_code = main(
+            [
+                "--months", str(N_MONTHS), "--seed", str(SEED),
+                "fleet", "--jobs", "40", "--horizon-days", "2.0", "--json",
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scalars"]["step_workers"] == 1
+        assert any("serial" in note for note in payload["notes"])
