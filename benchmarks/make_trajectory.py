@@ -1,17 +1,23 @@
 #!/usr/bin/env python
-"""Compress a pytest-benchmark JSON dump into a perf-trajectory baseline.
+"""Compress pytest-benchmark JSON dumps into a perf-trajectory baseline.
 
 The committed ``BENCH_<n>.json`` files at the repo root track how the
-simulator core's wall times move across PRs.  Each is the pytest-benchmark
-output of ``benchmarks/test_bench_simulator_scale.py`` boiled down to the
-stats that matter for trend reading (min/mean/stddev/rounds per benchmark),
-plus the machine context needed to compare like with like.
+toolkit's wall times move across PRs.  Each merges one or more
+pytest-benchmark output documents — the simulator-scale ladder, the cached
+campaign re-sweep, ... — boiled down to the stats that matter for trend
+reading (min/mean/stddev/rounds per benchmark), plus the machine context
+needed to compare like with like.  Source files are recovered from each
+benchmark's ``fullname``, so the ``source`` field lists every contributing
+benchmark module.
 
 Usage::
 
     python -m pytest benchmarks/test_bench_simulator_scale.py -q \\
         --benchmark-json=bench-simulator-scale.json
-    python benchmarks/make_trajectory.py bench-simulator-scale.json BENCH_7.json
+    python -m pytest benchmarks/test_bench_campaign.py -q \\
+        --benchmark-json=bench-campaign.json
+    python benchmarks/make_trajectory.py \\
+        bench-simulator-scale.json bench-campaign.json BENCH_9.json
 """
 
 from __future__ import annotations
@@ -21,33 +27,48 @@ import sys
 from pathlib import Path
 
 
-def compact(raw: dict) -> dict:
-    """The trajectory view of one pytest-benchmark JSON document."""
-    machine = raw.get("machine_info", {})
+def compact(raws: list[dict]) -> dict:
+    """The merged trajectory view of one or more pytest-benchmark documents."""
+    machine: dict = {}
+    sources: list[str] = []
+    benchmarks: list[dict] = []
+    for raw in raws:
+        machine = machine or raw.get("machine_info", {})
+        for bench in raw.get("benchmarks", []):
+            source = str(bench.get("fullname", "")).split("::")[0]
+            if source and source not in sources:
+                sources.append(source)
+            benchmarks.append(
+                {
+                    "name": bench["name"],
+                    "min_s": bench["stats"]["min"],
+                    "mean_s": bench["stats"]["mean"],
+                    "stddev_s": bench["stats"]["stddev"],
+                    "rounds": bench["stats"]["rounds"],
+                }
+            )
     return {
-        "source": "benchmarks/test_bench_simulator_scale.py",
+        "source": sorted(sources),
         "python": machine.get("python_version"),
         "cpu": machine.get("cpu", {}).get("brand_raw"),
-        "benchmarks": [
-            {
-                "name": bench["name"],
-                "min_s": bench["stats"]["min"],
-                "mean_s": bench["stats"]["mean"],
-                "stddev_s": bench["stats"]["stddev"],
-                "rounds": bench["stats"]["rounds"],
-            }
-            for bench in sorted(raw.get("benchmarks", []), key=lambda b: b["name"])
-        ],
+        "benchmarks": sorted(benchmarks, key=lambda b: b["name"]),
     }
 
 
 def main(argv: list[str]) -> int:
-    if len(argv) != 3:
-        print(f"usage: {argv[0]} <pytest-benchmark.json> <trajectory.json>", file=sys.stderr)
+    if len(argv) < 3:
+        print(
+            f"usage: {argv[0]} <pytest-benchmark.json> [<more.json> ...] <trajectory.json>",
+            file=sys.stderr,
+        )
         return 2
-    raw = json.loads(Path(argv[1]).read_text())
-    Path(argv[2]).write_text(json.dumps(compact(raw), indent=2) + "\n")
-    print(f"wrote {argv[2]} ({len(compact(raw)['benchmarks'])} benchmarks)")
+    raws = [json.loads(Path(path).read_text()) for path in argv[1:-1]]
+    trajectory = compact(raws)
+    Path(argv[-1]).write_text(json.dumps(trajectory, indent=2) + "\n")
+    print(
+        f"wrote {argv[-1]} ({len(trajectory['benchmarks'])} benchmarks "
+        f"from {len(raws)} input file(s))"
+    )
     return 0
 
 

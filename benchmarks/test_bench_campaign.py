@@ -7,7 +7,14 @@ through the declarative campaign API and checks its core guarantees: the
 expansion is reproducibly seeded, serial and multi-process execution return
 identical rows, and worker-local sessions build each distinct world's
 substrates exactly once.
+
+CLAIM-CAMPAIGN-CACHE — against a content-addressed artifact store the same
+sweep becomes incremental: the cached re-sweep benchmark times a warm run
+(every point served from disk, zero simulator executions) and gates it
+against the cold run that populated the store.
 """
+
+import time
 
 from benchmarks._report import print_header, print_rows
 from repro.experiments import CampaignSpec, run_campaign
@@ -46,3 +53,33 @@ def test_bench_campaign_sweep(benchmark):
     clear_worker_sessions()
 
     print("claim: any 'N experiments x M worlds' sweep is one declarative object")
+
+
+def test_bench_campaign_cached_resweep(benchmark, tmp_path):
+    from repro.artifacts import ArtifactStore
+
+    store = ArtifactStore(tmp_path / "cache")
+
+    clear_worker_sessions()  # make the cold run pay full substrate cost
+    start = time.perf_counter()
+    cold = run_campaign(CAMPAIGN, store=store)
+    cold_s = time.perf_counter() - start
+    assert (cold.cache_hits, cold.cache_misses) == (0, 8)
+
+    warm = benchmark(lambda: run_campaign(CAMPAIGN, store=store))
+    assert (warm.cache_hits, warm.cache_misses) == (8, 0)
+    assert warm.to_csv() == cold.to_csv()  # byte-identical rows
+
+    start = time.perf_counter()
+    run_campaign(CAMPAIGN, store=store)
+    warm_s = time.perf_counter() - start
+
+    print_header("Campaign — cold sweep vs cached re-sweep (8 points)")
+    print_rows(
+        [
+            {"run": "cold", "seconds": f"{cold_s:.3f}", "cached": 0, "simulated": 8},
+            {"run": "warm", "seconds": f"{warm_s:.3f}", "cached": 8, "simulated": 0},
+        ]
+    )
+    assert warm_s < cold_s, f"cached re-sweep ({warm_s:.3f}s) not faster than cold ({cold_s:.3f}s)"
+    print("claim: an unchanged re-sweep is pure disk reads — zero simulator executions")

@@ -23,6 +23,11 @@ Subpackages
     figure/table builders (Fig. 1-5, Table I).
 ``repro.parallel``
     Process-pool parameter sweeps.
+``repro.artifacts``
+    Content-addressed artifact caching: an on-disk :class:`~repro.artifacts.
+    ArtifactStore` keyed by stable hashes of (scenario spec, experiment,
+    params, derived seed, code version), the persistence layer behind
+    incremental campaigns and the campaign-DAG reporting pipeline.
 ``repro.experiments``
     The unified experiment API: declarative scenarios, the experiment
     registry, the substrate-caching session behind the ``greenhpc`` CLI,
@@ -89,6 +94,15 @@ From the command line::
     greenhpc sweep --experiments table1,powercap \\
         --grid seed=0,1 --grid n_months=3,4 --workers 2 --json
 
+Campaigns re-run *incrementally* against a content-addressed artifact
+store: ``run_campaign(campaign, store=ArtifactStore("./cache"))`` (or
+``greenhpc sweep --cache-dir ./cache``) serves unchanged points from disk
+— an unchanged re-sweep performs zero simulator executions and returns
+byte-identical rows — and a :class:`~repro.experiments.CampaignDAG` chains
+cached ``summarize`` → ``compare`` → ``report`` stages on top, ending in a
+browsable figure battery (``greenhpc report``) rendered without
+re-simulating anything.
+
 Fleets
 ------
 Multi-site questions — "what if this facility were three facilities routing
@@ -126,10 +140,12 @@ The legacy :class:`GreenDatacenterModel` facade remains as a thin shim over
 the session API.
 """
 
+from .artifacts import ArtifactStore
 from .config import ExperimentConfig, FacilityConfig, SiteConfig
 from .core.framework import GreenDatacenterModel
 from .errors import GreenHPCError
 from .experiments import (
+    CampaignDAG,
     CampaignResult,
     CampaignSpec,
     ExperimentResult,
@@ -194,6 +210,8 @@ __all__ = [
     "ScenarioSpec",
     "CampaignSpec",
     "CampaignResult",
+    "CampaignDAG",
+    "ArtifactStore",
     "run_campaign",
     "register_scenario",
     "get_scenario",

@@ -1,0 +1,120 @@
+"""Stable content-addressed cache keys for campaign artifacts.
+
+Every artifact in an :class:`~repro.artifacts.store.ArtifactStore` is
+addressed by a hex digest computed here.  The rules that make the keys a
+sound cache identity:
+
+* **Stable** — :func:`stable_hash` feeds a canonical JSON encoding (sorted
+  keys, no whitespace, strict values) of the identity payload to BLAKE2b,
+  so the digest is identical across processes, platforms and Python
+  versions (unlike the built-in ``hash``).
+* **Complete** — a run artifact's key (:func:`run_key`) covers everything
+  that determines the simulation's output: the fully resolved
+  :class:`~repro.experiments.spec.ScenarioSpec`, the experiment name, the
+  resolved experiment parameters, the point's derived seed, and the
+  :func:`code_version` of the package that produced it.  Upgrading the
+  package therefore invalidates stale artifacts instead of silently
+  serving results computed by older code.
+* **Cascading** — a derived stage's key (:func:`derived_key`) hashes its
+  *upstream artifact keys*, so invalidating one run point re-keys (and
+  thereby invalidates) exactly the downstream subgraph that depends on it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import TYPE_CHECKING, Any, Iterable, Optional
+
+from ..config import config_to_jsonable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..experiments.campaign import CampaignPoint
+
+__all__ = ["code_version", "stable_hash", "run_key", "derived_key"]
+
+#: Hex digest length of every artifact key (BLAKE2b-128).
+KEY_HEX_LENGTH = 32
+
+#: Environment override for the code-version cache-key component (tests use
+#: this to simulate a package upgrade without reinstalling).
+CODE_VERSION_ENV = "GREENHPC_CODE_VERSION"
+
+
+def code_version() -> str:
+    """The code-version component of every cache key.
+
+    Single-sourced with ``greenhpc --version``: this is exactly
+    ``repro.__version__`` (``pyproject.toml`` via ``importlib.metadata``,
+    with the source-checkout fallback), so bumping the package version is
+    what retires every previously cached artifact.  The
+    ``GREENHPC_CODE_VERSION`` environment variable overrides it — the
+    lever the cache-invalidation tests (and a cautious operator mid-
+    refactor) use to force a cold store.
+    """
+    override = os.environ.get(CODE_VERSION_ENV, "").strip()
+    if override:
+        return override
+    from .. import __version__
+
+    return __version__
+
+
+def stable_hash(payload: Any) -> str:
+    """BLAKE2b hex digest of the canonical JSON encoding of ``payload``.
+
+    ``payload`` is passed through
+    :func:`~repro.config.config_to_jsonable` first, so dataclass configs,
+    numpy values and non-finite floats hash by their canonical JSON form —
+    the same form the artifacts themselves are stored in.
+    """
+    canonical = json.dumps(
+        config_to_jsonable(payload),
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=False,
+    )
+    h = hashlib.blake2b(canonical.encode("utf-8"), digest_size=KEY_HEX_LENGTH // 2)
+    return h.hexdigest()
+
+
+def run_key(point: "CampaignPoint", *, version: Optional[str] = None) -> str:
+    """The content address of one campaign point's run artifact.
+
+    Hashes the complete identity of the simulation: (scenario spec,
+    experiment name, resolved params, derived seed, code version).  Two
+    campaigns that expand to the same point — regardless of grid shape or
+    point order — share one artifact.
+    """
+    return stable_hash(
+        {
+            "stage": "run",
+            "experiment": point.experiment,
+            "spec": point.spec.to_dict(),
+            "params": dict(point.params),
+            "seed": point.seed,
+            "code": version if version is not None else code_version(),
+        }
+    )
+
+
+def derived_key(
+    stage: str, upstream: Iterable[str], *, version: Optional[str] = None, **extra: Any
+) -> str:
+    """The content address of a derived-stage artifact.
+
+    ``upstream`` are the artifact keys this stage consumes (order matters:
+    it mirrors point order); changing any upstream key changes this key,
+    which is what makes invalidation cascade down the DAG without any
+    bookkeeping.  ``extra`` carries stage configuration that shapes the
+    output (e.g. the report format).
+    """
+    return stable_hash(
+        {
+            "stage": stage,
+            "upstream": list(upstream),
+            "code": version if version is not None else code_version(),
+            **extra,
+        }
+    )

@@ -26,6 +26,21 @@ policy pipeline specs with parameters sweep directly::
 ``greenhpc policies`` prints the policy registry and the stage grammar the
 ``schedule``/``optimize`` experiments accept, generated from the registries.
 
+Sweeps become *incremental* with ``--cache-dir`` (or the
+``GREENHPC_CACHE_DIR`` environment variable): every campaign point is
+cached in a content-addressed artifact store, so re-running an unchanged
+sweep simulates nothing and editing one grid value reruns only the
+affected points (``--force`` recomputes everything, ``--no-cache`` ignores
+the environment's cache directory).  ``greenhpc report`` renders the
+standard figure battery — per-metric comparison grids across the swept
+dimensions, as markdown and embedded-SVG HTML — from those cached
+artifacts *without re-simulating*::
+
+    greenhpc sweep --experiments fleet --grid "router=round-robin,carbon-min" \\
+        --cache-dir ./cache
+    greenhpc report --experiments fleet --grid "router=round-robin,carbon-min" \\
+        --cache-dir ./cache --out ./report
+
 Shared flags are handled once for every subcommand: ``--seed``, ``--months``
 and ``--site`` override the chosen ``--scenario``'s spec, ``--workers`` (or
 the ``GREENHPC_WORKERS`` environment variable) sets the process count for
@@ -174,6 +189,47 @@ def _add_shared_arguments(parser: argparse.ArgumentParser, *, in_subcommand: boo
     )
 
 
+def _add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by the campaign-shaped subcommands (``sweep``/``report``)."""
+    parser.add_argument(
+        "--experiments",
+        required=True,
+        help="comma-separated registered experiment names to run at every grid point",
+    )
+    parser.add_argument(
+        "--grid",
+        action="append",
+        default=[],
+        metavar="KEY=V1,V2,...",
+        help=(
+            "one grid dimension; KEY is a scenario field "
+            f"({', '.join(SWEEPABLE_SPEC_FIELDS)}) or a parameter declared by a "
+            "selected experiment; repeat for more dimensions"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "content-addressed artifact store: cached campaign points skip "
+            "simulation, fresh ones are persisted (default: the "
+            "GREENHPC_CACHE_DIR environment variable, else uncached; "
+            "required by 'report')"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="run uncached even when GREENHPC_CACHE_DIR is set",
+    )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="recompute every cached stage and overwrite its artifacts",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser, with one subcommand per registered experiment."""
     parser = argparse.ArgumentParser(
@@ -204,26 +260,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a campaign: registered experiments over a scenario/parameter grid",
     )
     _add_shared_arguments(sweep, in_subcommand=True)
-    sweep.add_argument(
-        "--experiments",
-        required=True,
-        help="comma-separated registered experiment names to run at every grid point",
-    )
-    sweep.add_argument(
-        "--grid",
-        action="append",
-        default=[],
-        metavar="KEY=V1,V2,...",
-        help=(
-            "one grid dimension; KEY is a scenario field "
-            f"({', '.join(SWEEPABLE_SPEC_FIELDS)}) or a parameter declared by a "
-            "selected experiment; repeat for more dimensions"
-        ),
-    )
+    _add_campaign_arguments(sweep)
     sweep.add_argument(
         "--csv",
         action="store_true",
         help="emit the campaign rows as CSV instead of a text table",
+    )
+    report = subparsers.add_parser(
+        "report",
+        help=(
+            "render the campaign figure battery (markdown + SVG HTML) from "
+            "cached artifacts, without re-simulating"
+        ),
+    )
+    _add_shared_arguments(report, in_subcommand=True)
+    _add_campaign_arguments(report)
+    report.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help=(
+            "directory to write report.md and report.html into (created if "
+            "missing); omit to print the markdown report to stdout"
+        ),
+    )
+    report.add_argument(
+        "--simulate",
+        action="store_true",
+        help=(
+            "allow simulating campaign points missing from the cache instead of "
+            "failing (the default insists the store is warm)"
+        ),
     )
     policies = subparsers.add_parser(
         "policies",
@@ -402,20 +469,44 @@ def _resolve_workers(cli_value: int | None) -> int | None:
         ) from None
 
 
-def _run_sweep(args: argparse.Namespace, parallel: ParallelConfig | None, base_spec) -> int:
-    """The ``greenhpc sweep`` subcommand: build, run and render a campaign."""
-    if args.json and args.csv:
-        raise ConfigurationError("--json and --csv are mutually exclusive")
+def _build_campaign(args: argparse.Namespace, base_spec) -> CampaignSpec:
+    """The campaign described by ``--experiments``/``--grid`` over ``base_spec``.
+
+    Shared by ``sweep`` and ``report`` so both address the *same* cache
+    keys: a report over the flags of a finished sweep finds its artifacts.
+    """
     experiments = _split_names(args.experiments, "--experiments")
     scenario_grid, param_grid = _parse_grid_arguments(args.grid, experiments)
-    campaign = CampaignSpec(
+    return CampaignSpec(
         experiments=experiments,
         base=base_spec,
         scenario_grid=scenario_grid,
         param_grid=param_grid,
         seed=base_spec.seed,
     )
-    result = run_campaign(campaign, parallel)
+
+
+def _resolve_store(args: argparse.Namespace):
+    """The artifact store from ``--cache-dir`` / ``GREENHPC_CACHE_DIR``, if any."""
+    if args.no_cache:
+        if args.cache_dir is not None:
+            raise ConfigurationError("--cache-dir and --no-cache are mutually exclusive")
+        return None
+    cache_dir = args.cache_dir or os.environ.get("GREENHPC_CACHE_DIR", "").strip() or None
+    if cache_dir is None:
+        return None
+    from .artifacts import ArtifactStore
+
+    return ArtifactStore(cache_dir)
+
+
+def _run_sweep(args: argparse.Namespace, parallel: ParallelConfig | None, base_spec) -> int:
+    """The ``greenhpc sweep`` subcommand: build, run and render a campaign."""
+    if args.json and args.csv:
+        raise ConfigurationError("--json and --csv are mutually exclusive")
+    campaign = _build_campaign(args, base_spec)
+    store = _resolve_store(args)
+    result = run_campaign(campaign, parallel, store=store, force=args.force)
     if args.json:
         print(result.to_json(indent=2))
     elif args.csv:
@@ -425,9 +516,60 @@ def _run_sweep(args: argparse.Namespace, parallel: ParallelConfig | None, base_s
         workers = parallel.resolved_workers() if parallel is not None else 1
         print()
         print(
-            f"{len(result)} campaign point(s) across {len(experiments)} experiment(s), "
-            f"{workers} worker(s)"
+            f"{len(result)} campaign point(s) across "
+            f"{len(campaign.experiments)} experiment(s), {workers} worker(s)"
         )
+        if result.cache_hits is not None:
+            print(
+                f"artifact cache: {result.cache_hits} hit(s), "
+                f"{result.cache_misses} simulated ({store.root})"
+            )
+    return 0
+
+
+def _run_report(args: argparse.Namespace, parallel: ParallelConfig | None, base_spec) -> int:
+    """The ``greenhpc report`` subcommand: the figure battery from the store."""
+    from .experiments.dag import CampaignDAG
+
+    campaign = _build_campaign(args, base_spec)
+    store = _resolve_store(args)
+    if store is None:
+        raise ConfigurationError(
+            "report needs an artifact store: pass --cache-dir DIR (or set "
+            "GREENHPC_CACHE_DIR) pointing at a directory a sweep populated"
+        )
+    dag = CampaignDAG(campaign, store)
+    outcome = dag.materialize(
+        parallel=parallel, simulate=args.simulate or args.force, force=args.force
+    )
+    written: list[str] = []
+    if args.out is not None:
+        import pathlib
+
+        out_dir = pathlib.Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for name, text in (
+            ("report.md", outcome.report_markdown),
+            ("report.html", outcome.report_html),
+        ):
+            path = out_dir / name
+            path.write_text(text)
+            written.append(str(path))
+    if args.json:
+        import json
+
+        payload = outcome.to_dict()
+        payload["written"] = written
+        print(json.dumps(payload, indent=2))
+    elif written:
+        for line in (
+            f"{stage}: {status}" for stage, status in outcome.stage_status.items()
+        ):
+            print(line)
+        for path in written:
+            print(f"wrote {path}")
+    else:
+        print(outcome.report_markdown)
     return 0
 
 
@@ -463,6 +605,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
         if args.command == "sweep":
             return _run_sweep(args, parallel, spec)
+        if args.command == "report":
+            return _run_report(args, parallel, spec)
         definition = get_experiment(args.command)
         session = ExperimentSession(spec, parallel=parallel)
         params = {param.name: getattr(args, param.name) for param in definition.params}

@@ -17,6 +17,7 @@ __all__ = [
     "FleetError",
     "ServeError",
     "CheckpointError",
+    "ArtifactError",
     "ResourceError",
     "TelemetryError",
     "TrackingError",
@@ -73,6 +74,16 @@ class ServeError(GreenHPCError, RuntimeError):
 
 class CheckpointError(GreenHPCError, RuntimeError):
     """Raised when simulator state cannot be snapshotted, serialized or restored."""
+
+
+class ArtifactError(GreenHPCError, RuntimeError):
+    """Raised by the content-addressed artifact store and the campaign DAG.
+
+    Covers malformed keys, unwritable artifacts, and a DAG asked to
+    materialize from cache (``simulate=False``) while run artifacts are
+    missing.  Corrupt or truncated artifact *files* never raise — they read
+    as cache misses.
+    """
 
 
 class ResourceError(GreenHPCError, RuntimeError):

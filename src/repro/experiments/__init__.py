@@ -34,6 +34,26 @@ columnar :class:`CampaignResult`:
 The same sweeps are available from the command line as ``greenhpc sweep``
 (``--experiments``, repeatable ``--grid key=v1,v2,...``, ``--workers``,
 ``--json``/``--csv``).
+
+Campaign caching and reports
+----------------------------
+Campaigns become *incremental* when run against a content-addressed
+:class:`~repro.artifacts.ArtifactStore`: ``run_campaign(campaign,
+store=...)`` serves already-computed points from disk (zero simulator
+executions on an unchanged re-sweep, rows byte-identical to the cold run)
+and simulates only points whose cache key — a stable hash of (scenario
+spec, experiment, params, derived seed, code version) — is new.  The
+:class:`~repro.experiments.dag.CampaignDAG` layer chains cached derived
+stages on top (``run`` → ``summarize`` → ``compare`` → ``report``), each
+keyed by its upstream keys so edits invalidate exactly the affected
+subgraph, and ends in a rendered figure battery (markdown + embedded-SVG
+HTML; :mod:`repro.experiments.report`).  From the command line::
+
+    greenhpc sweep --experiments table1 --grid seed=0,1 --cache-dir ./cache
+    greenhpc sweep --experiments table1 --grid seed=0,1 --cache-dir ./cache
+    # second run: 0 simulated
+    greenhpc report --experiments table1 --grid seed=0,1 \\
+        --cache-dir ./cache --out ./report   # renders without re-simulating
 """
 
 from .registry import (
@@ -61,11 +81,15 @@ from .spec import (
 )
 from . import builtin as _builtin  # noqa: F401 - populates the registry on import
 from .campaign import CampaignPoint, CampaignResult, CampaignSpec, run_campaign
+from .dag import CampaignDAG, DagNode, DagOutcome
 
 __all__ = [
     "CampaignPoint",
     "CampaignResult",
     "CampaignSpec",
+    "CampaignDAG",
+    "DagNode",
+    "DagOutcome",
     "run_campaign",
     "ScenarioSpec",
     "WorkloadSpec",

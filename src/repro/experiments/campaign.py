@@ -20,6 +20,24 @@ multi-analysis run.  Results are collected into a columnar
 :class:`CampaignResult` with flat ``rows``, ``group_by``/``summarize``
 aggregation and ``to_json``/``to_csv`` export.
 
+Campaign caching
+----------------
+``run_campaign(campaign, store=ArtifactStore(...))`` makes re-runs
+incremental: before dispatching any point, the driver consults the
+content-addressed store (:mod:`repro.artifacts`) under each point's
+:func:`~repro.artifacts.keys.run_key` — a stable hash of (scenario spec,
+experiment, resolved params, derived seed, code version).  Hits skip the
+simulation entirely; misses run and are persisted, so an unchanged re-sweep
+performs **zero** simulator executions and returns rows byte-identical to
+the cold run (cached and fresh results alike are normalized through the
+stored JSON form).  Editing one grid value, one experiment parameter, or
+upgrading the package changes only the affected keys, so only that
+subgraph reruns.  Hit/miss counts surface as
+:attr:`CampaignResult.cache_hits` / :attr:`CampaignResult.cache_misses`,
+and the ``greenhpc sweep --cache-dir`` flag wires the same store through
+the CLI.  Derived stages (summarize → compare → report) chain on top in
+:mod:`repro.experiments.dag`.
+
 >>> from repro.experiments import CampaignSpec, run_campaign
 >>> campaign = CampaignSpec(
 ...     experiments=("table1", "powercap"),
@@ -42,7 +60,10 @@ import functools
 import io
 import json
 from dataclasses import dataclass, field, fields
-from typing import Any, Iterable, Mapping, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Optional, Sequence, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..artifacts.store import ArtifactStore
 
 from ..config import config_to_jsonable
 from ..errors import ConfigurationError, DataError, SchedulingError
@@ -60,6 +81,8 @@ __all__ = [
     "CampaignSpec",
     "CampaignResult",
     "run_campaign",
+    "result_to_payload",
+    "result_from_payload",
     "split_value_list",
 ]
 
@@ -323,11 +346,48 @@ def _evaluate_campaign_point(
     return session.run(point.experiment, **dict(point.params))
 
 
+def result_to_payload(result: ExperimentResult) -> dict[str, Any]:
+    """The cacheable JSON payload of one point's experiment result.
+
+    The scenario spec is deliberately *not* stored: it is part of the
+    artifact's content address, and the live :class:`CampaignPoint` carries
+    the authoritative spec object on reconstruction.
+    """
+    return {
+        "experiment": result.name,
+        "rows": config_to_jsonable(result.rows),
+        "scalars": config_to_jsonable(result.scalars),
+        "params": config_to_jsonable(result.params),
+        "notes": list(result.notes),
+    }
+
+
+def result_from_payload(point: CampaignPoint, payload: Mapping[str, Any]) -> ExperimentResult:
+    """Rebuild a point's :class:`ExperimentResult` from its cached payload."""
+    try:
+        return ExperimentResult(
+            name=str(payload["experiment"]),
+            spec=point.spec,
+            rows=tuple(payload["rows"]),
+            scalars=dict(payload["scalars"]),
+            params=dict(payload["params"]),
+            notes=tuple(payload["notes"]),
+        )
+    except (KeyError, TypeError, AttributeError) as exc:
+        raise DataError(
+            f"cached artifact for point {point.index} ({point.experiment!r}) "
+            f"has an unusable payload: {exc}"
+        ) from None
+
+
 def run_campaign(
     campaign: CampaignSpec,
     parallel: Optional[ParallelConfig] = None,
     *,
     session_parallel: Optional[ParallelConfig] = None,
+    store: Optional["ArtifactStore"] = None,
+    force: bool = False,
+    version: Optional[str] = None,
 ) -> "CampaignResult":
     """Expand ``campaign`` and evaluate every point, in processes when asked.
 
@@ -342,16 +402,52 @@ def run_campaign(
     exploits both axes at once (points × sites).  It defaults to ``parallel``
     itself when omitted; the two multiply, so a campaign over F-site fleets
     with W workers can occupy up to W×(F+1) processes.
+
+    ``store`` (an :class:`~repro.artifacts.ArtifactStore`) makes the run
+    incremental: points whose :func:`~repro.artifacts.keys.run_key` is
+    already cached skip simulation entirely; the rest run (through the same
+    parallel dispatch) and are persisted.  ``force=True`` recomputes every
+    point and overwrites its artifact.  With a store, every result — cached
+    or fresh — is normalized through its stored JSON form, so warm and cold
+    runs of the same campaign yield byte-identical rows.  ``version``
+    overrides the code-version cache-key component (defaults to
+    :func:`~repro.artifacts.keys.code_version`); a :class:`~repro.
+    experiments.dag.CampaignDAG` passes its own so run keys and derived
+    keys always agree.
     """
     points = campaign.expand()
     if session_parallel is None:
         session_parallel = parallel
-    results = map_parallel(
-        functools.partial(_evaluate_campaign_point, session_parallel=session_parallel),
-        points,
-        parallel,
+    evaluate = functools.partial(_evaluate_campaign_point, session_parallel=session_parallel)
+    if store is None:
+        results = map_parallel(evaluate, points, parallel)
+        return CampaignResult(campaign=campaign, points=tuple(points), results=tuple(results))
+
+    from ..artifacts.keys import code_version, run_key
+
+    if version is None:
+        version = code_version()
+    key_by_index = {point.index: run_key(point, version=version) for point in points}
+    by_index: dict[int, ExperimentResult] = {}
+    if not force:
+        for point in points:
+            payload = store.get(key_by_index[point.index])
+            if payload is not None:
+                by_index[point.index] = result_from_payload(point, payload)
+    missed = [point for point in points if point.index not in by_index]
+    fresh = map_parallel(evaluate, missed, parallel)
+    for point, result in zip(missed, fresh):
+        payload = result_to_payload(result)
+        store.put(key_by_index[point.index], payload)
+        by_index[point.index] = result_from_payload(point, payload)
+    results = tuple(by_index[point.index] for point in points)
+    return CampaignResult(
+        campaign=campaign,
+        points=tuple(points),
+        results=results,
+        cache_hits=len(points) - len(missed),
+        cache_misses=len(missed),
     )
-    return CampaignResult(campaign=campaign, points=tuple(points), results=tuple(results))
 
 
 # ---------------------------------------------------------------------------
@@ -371,11 +467,18 @@ class CampaignResult:
     ``points``) for drill-down; ``rows`` flattens each point's identifying
     grid values and headline scalars into one record for tables, grouping
     and export.
+
+    When the campaign ran against an :class:`~repro.artifacts.ArtifactStore`
+    (``run_campaign(..., store=...)``), ``cache_hits``/``cache_misses``
+    record how many points were served from the store versus simulated;
+    both are ``None`` for uncached runs.
     """
 
     campaign: CampaignSpec
     points: tuple[CampaignPoint, ...]
     results: tuple[ExperimentResult, ...]
+    cache_hits: Optional[int] = None
+    cache_misses: Optional[int] = None
 
     def __post_init__(self) -> None:
         if len(self.points) != len(self.results):
@@ -490,6 +593,9 @@ class CampaignResult:
             "n_points": len(self.points),
             "rows": config_to_jsonable(self.rows),
         }
+        if self.cache_hits is not None:
+            payload["cache_hits"] = self.cache_hits
+            payload["cache_misses"] = self.cache_misses
         if include_results:
             payload["results"] = [result.to_dict() for result in self.results]
         return payload
@@ -501,7 +607,16 @@ class CampaignResult:
         )
 
     def to_csv(self) -> str:
-        """The flat rows as CSV text (column set is the union over all rows)."""
+        """The flat rows as CSV text (column set is the union over all rows).
+
+        Quoting follows RFC 4180 via the :mod:`csv` module, so cell values
+        containing commas, double quotes or newlines (policy/router pipeline
+        specs are the usual source) round-trip through any CSV reader.
+        Missing cells, ``None`` and non-finite floats (NaN/±inf are mapped
+        to ``None`` by the JSON normalization) all render as empty cells.
+        Lines end in ``"\\n"`` regardless of platform, so the text is stable
+        for byte-level comparison.
+        """
         rows = config_to_jsonable(self.rows)
         columns: list[str] = []
         for row in rows:
@@ -509,8 +624,8 @@ class CampaignResult:
                 if key not in columns:
                     columns.append(key)
         buffer = io.StringIO()
-        writer = csv.DictWriter(buffer, fieldnames=columns, restval="")
+        writer = csv.DictWriter(buffer, fieldnames=columns, restval="", lineterminator="\n")
         writer.writeheader()
         for row in rows:
-            writer.writerow(row)
+            writer.writerow({key: ("" if value is None else value) for key, value in row.items()})
         return buffer.getvalue()

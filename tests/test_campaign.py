@@ -6,10 +6,13 @@ import json
 
 import pytest
 
+from repro.artifacts import ArtifactStore, run_key
+from repro.artifacts.keys import CODE_VERSION_ENV
 from repro.errors import ConfigurationError, DataError
 from repro.experiments import (
     CampaignResult,
     CampaignSpec,
+    ExperimentResult,
     ScenarioSpec,
     get_site,
     run_campaign,
@@ -223,6 +226,134 @@ class TestCampaignResult:
         assert parsed[-1]["experiment"] == "powercap"
         # Ragged columns (table1 scalars) are blank on powercap rows.
         assert parsed[-1]["n_conferences"] == ""
+
+    def test_to_csv_quotes_commas_quotes_and_newlines(self):
+        # Regression: policy/router pipeline specs put commas in cells, and
+        # a naive join would shear the columns; quotes and newlines must
+        # survive a round trip too, and None/NaN must render as empty cells.
+        campaign = CampaignSpec(experiments=("table1",))
+        point = campaign.expand()[0]
+        nasty = ExperimentResult(
+            name="table1",
+            spec=point.spec,
+            rows=(),
+            scalars={
+                "policy": "backfill+carbon(cap=0.7),budget",
+                "note": 'say "hi"\nbye',
+                "gap": None,
+                "bad_float": float("nan"),
+            },
+        )
+        result = CampaignResult(campaign=campaign, points=(point,), results=(nasty,))
+        text = result.to_csv()
+        assert "\r" not in text
+        (parsed,) = csv.DictReader(io.StringIO(text))
+        assert parsed["policy"] == "backfill+carbon(cap=0.7),budget"
+        assert parsed["note"] == 'say "hi"\nbye'
+        assert parsed["gap"] == ""
+        assert parsed["bad_float"] == ""  # NaN normalizes to a blank cell
+
+
+class TestCampaignCaching:
+    """run_campaign against an ArtifactStore: incremental re-execution."""
+
+    @pytest.fixture
+    def store(self, tmp_path) -> ArtifactStore:
+        return ArtifactStore(tmp_path / "cache")
+
+    @pytest.fixture
+    def simulated(self, monkeypatch) -> list:
+        """Counting hook: the indices of every point actually simulated."""
+        from repro.experiments import campaign as campaign_module
+
+        indices: list[int] = []
+        real = campaign_module._evaluate_campaign_point
+
+        def counting(point, session_parallel=None):
+            indices.append(point.index)
+            return real(point, session_parallel)
+
+        monkeypatch.setattr(campaign_module, "_evaluate_campaign_point", counting)
+        return indices
+
+    def test_unchanged_rerun_hits_everything_byte_identically(self, store, simulated):
+        campaign = CampaignSpec(**CHEAP)
+        cold = run_campaign(campaign, store=store)
+        assert (cold.cache_hits, cold.cache_misses) == (0, 8)
+        assert sorted(simulated) == list(range(8))
+        simulated.clear()
+        warm = run_campaign(campaign, store=store)
+        assert (warm.cache_hits, warm.cache_misses) == (8, 0)
+        assert simulated == []  # zero simulator executions
+        assert warm.to_csv() == cold.to_csv()
+        assert json.dumps(warm.to_dict()["rows"]) == json.dumps(cold.to_dict()["rows"])
+
+    def test_store_normalization_matches_a_plain_run(self, store):
+        campaign = CampaignSpec(**CHEAP)
+        assert run_campaign(campaign, store=store).rows == run_campaign(campaign).rows
+
+    def test_uncached_runs_report_no_cache_stats(self):
+        result = run_campaign(CampaignSpec(**CHEAP))
+        assert result.cache_hits is None and result.cache_misses is None
+        assert "cache_hits" not in result.to_dict()
+
+    def test_one_changed_grid_value_reruns_only_that_subgraph(self, store, simulated):
+        run_campaign(CampaignSpec(**CHEAP), store=store)
+        simulated.clear()
+        edited = dict(CHEAP, scenario_grid={"seed": [0, 2], "n_months": [3, 4]})
+        result = run_campaign(CampaignSpec(**edited), store=store)
+        assert (result.cache_hits, result.cache_misses) == (4, 4)
+        assert all(result.points[i].spec.seed == 2 for i in simulated)
+
+    def test_one_changed_param_value_reruns_only_that_subgraph(self, store, simulated):
+        base = dict(
+            experiments=("shifting",),
+            base=ScenarioSpec(n_months=3),
+            param_grid={"deferrable": [0.2, 0.4]},
+        )
+        run_campaign(CampaignSpec(**base), store=store)
+        simulated.clear()
+        edited = dict(base, param_grid={"deferrable": [0.2, 0.5]})
+        result = run_campaign(CampaignSpec(**edited), store=store)
+        assert (result.cache_hits, result.cache_misses) == (1, 1)
+        assert [result.points[i].params["deferrable"] for i in simulated] == [0.5]
+
+    def test_code_version_change_invalidates_everything(self, store, simulated, monkeypatch):
+        campaign = CampaignSpec(**CHEAP)
+        run_campaign(campaign, store=store)
+        simulated.clear()
+        monkeypatch.setenv(CODE_VERSION_ENV, "0.0-rekeyed")
+        result = run_campaign(campaign, store=store)
+        assert (result.cache_hits, result.cache_misses) == (0, 8)
+        assert len(simulated) == 8
+
+    def test_corrupt_artifact_is_a_miss_not_a_crash(self, store, simulated):
+        campaign = CampaignSpec(**CHEAP)
+        cold = run_campaign(campaign, store=store)
+        store.path_for(run_key(campaign.expand()[0])).write_text("not json at all")
+        simulated.clear()
+        warm = run_campaign(campaign, store=store)
+        assert (warm.cache_hits, warm.cache_misses) == (7, 1)
+        assert simulated == [0]  # only the clobbered point resimulated
+        assert store.corrupt_reads == 1
+        assert warm.to_csv() == cold.to_csv()
+
+    def test_force_recomputes_every_point(self, store, simulated):
+        campaign = CampaignSpec(**CHEAP)
+        run_campaign(campaign, store=store)
+        simulated.clear()
+        result = run_campaign(campaign, store=store, force=True)
+        assert (result.cache_hits, result.cache_misses) == (0, 8)
+        assert sorted(simulated) == list(range(8))
+
+    def test_cached_campaign_in_worker_processes(self, store):
+        # The store path dispatches misses through the same parallel map.
+        campaign = CampaignSpec(**CHEAP)
+        cold = run_campaign(campaign, TWO_WORKERS, store=store)
+        assert (cold.cache_hits, cold.cache_misses) == (0, 8)
+        warm = run_campaign(campaign, TWO_WORKERS, store=store)
+        assert (warm.cache_hits, warm.cache_misses) == (8, 0)
+        assert warm.rows == cold.rows
 
 
 class TestRewiredAnalyses:
