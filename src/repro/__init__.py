@@ -46,6 +46,12 @@ Subpackages
     routing queries across live sessions, and periodic checkpoint/restore
     built on the simulator's versioned
     :class:`~repro.cluster.simulator.SimulatorSnapshot`.
+``repro.obs``
+    Stdlib tracing and metrics: an ambient
+    :class:`~repro.obs.TraceRecorder` of nested spans, a
+    :class:`~repro.obs.MetricsRegistry` of counters/gauges/histograms, and
+    exporters (Chrome ``trace_event`` JSON, NDJSON, Prometheus text) behind
+    ``--trace-out``/``greenhpc obs`` and the daemon's ``GET /metrics``.
 
 Quick start
 -----------
@@ -135,6 +141,33 @@ a restart bit-identically::
 
     greenhpc serve --port 8714 --checkpoint-dir ./ckpt
     python examples/serve_client.py      # submit, stream, kill, restore
+
+Observability
+-------------
+Every layer above is instrumented against :mod:`repro.obs`.  Tracing is off
+by default — the ambient recorder is a shared no-op whose spans cost no
+clock reads and no allocations, and every pinned-parity suite runs
+bit-identically either way.  Enable it per run with ``--trace-out``::
+
+    greenhpc fleet --workers 4 --trace-out fleet.json   # Chrome trace_event
+    greenhpc obs fleet.json                             # per-phase digest
+
+The exported ``*.json`` loads directly in Perfetto (https://ui.perfetto.dev)
+or ``chrome://tracing`` with one timeline per worker process; ``*.ndjson``
+writes a greppable event log instead.  Programmatic use is one context
+manager — spans land in the recorder you install::
+
+    from repro.obs import TraceRecorder, recording
+
+    rec = TraceRecorder()
+    with recording(rec):
+        session.run("fleet")
+
+Traced runs also attach a compact :class:`~repro.obs.RunProfile` (per-phase
+totals plus a metrics snapshot) to experiment/fleet/campaign results, and
+the serve daemon exposes a Prometheus text endpoint at ``GET /metrics``
+(request counters by method/route/status, per-session uptime/progress
+gauges) ready for scraping.
 
 The legacy :class:`GreenDatacenterModel` facade remains as a thin shim over
 the session API.

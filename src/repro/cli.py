@@ -41,6 +41,12 @@ artifacts *without re-simulating*::
     greenhpc report --experiments fleet --grid "router=round-robin,carbon-min" \\
         --cache-dir ./cache --out ./report
 
+Every subcommand accepts ``--trace-out PATH``, which installs the ambient
+:mod:`repro.obs` recorder for the run and exports the trace on exit —
+Chrome ``trace_event`` JSON (drop into https://ui.perfetto.dev) unless PATH
+ends in ``.ndjson``.  ``greenhpc obs PATH`` digests a recorded trace into
+per-phase totals and the longest individual spans.
+
 Shared flags are handled once for every subcommand: ``--seed``, ``--months``
 and ``--site`` override the chosen ``--scenario``'s spec, ``--workers`` (or
 the ``GREENHPC_WORKERS`` environment variable) sets the process count for
@@ -187,6 +193,17 @@ def _add_shared_arguments(parser: argparse.ArgumentParser, *, in_subcommand: boo
         default=default(False),
         help="emit the structured ExperimentResult as JSON instead of text tables",
     )
+    parser.add_argument(
+        "--trace-out",
+        default=default(None),
+        metavar="PATH",
+        help=(
+            "record a trace of this run and write it to PATH on exit: *.ndjson "
+            "writes the newline-delimited event log, anything else writes "
+            "Chrome trace_event JSON (loadable in Perfetto / about:tracing); "
+            "summarize either with 'greenhpc obs PATH'"
+        ),
+    )
 
 
 def _add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
@@ -297,6 +314,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="list registered scheduling policies and pipeline stages (the spec grammar)",
     )
     _add_shared_arguments(policies, in_subcommand=True)
+    obs = subparsers.add_parser(
+        "obs",
+        help="summarize a trace file recorded with --trace-out (top spans, per-phase totals)",
+    )
+    obs.add_argument("trace", help="trace file to read (Chrome trace_event JSON or NDJSON)")
+    obs.add_argument(
+        "--top",
+        type=int,
+        default=15,
+        help="how many individual spans to list in the top-spans table",
+    )
+    obs.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the structured summary as JSON instead of text tables",
+    )
     serve = subparsers.add_parser(
         "serve",
         help="run the long-running simulation daemon (warm sessions over JSON/HTTP)",
@@ -327,6 +360,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--verbose", action="store_true", help="log every HTTP request to stderr"
+    )
+    serve.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="record per-request serve spans and write the trace to PATH on shutdown",
     )
     return parser
 
@@ -408,6 +447,55 @@ def _run_policies(args: argparse.Namespace) -> int:
         "Any composition is a valid router for the fleet experiment, e.g. "
         "'carbon-min+queue-cap(max=50)' (sweep with --grid \"router=...\")."
     )
+    return 0
+
+
+def _run_obs(args: argparse.Namespace) -> int:
+    """The ``greenhpc obs`` subcommand: digest a ``--trace-out`` file."""
+    from .obs import load_trace, summarize_trace
+
+    trace = load_trace(args.trace)
+    summary = summarize_trace(trace, top=args.top)
+    if args.json:
+        import json
+
+        print(json.dumps({"format": trace["format"], **summary}, indent=2))
+        return 0
+    print(
+        f"{args.trace}: {trace['format']} trace, {summary['n_spans']} span(s) on "
+        f"{summary['n_tracks']} track(s), "
+        f"{summary['recorded_total_s']:.3f}s recorded span time"
+    )
+    print()
+    print("Per-phase totals (share is relative to the largest aggregate):")
+    _print_rows(
+        {
+            "phase": entry["name"],
+            "count": entry["count"],
+            "total_s": entry["total_s"],
+            "mean_s": entry["mean_s"],
+            "max_s": entry["max_s"],
+            "share": entry["share"],
+        }
+        for entry in summary["phases"]
+    )
+    print()
+    print(f"Top {len(summary['top_spans'])} span(s) by wall time:")
+    _print_rows(
+        {
+            "span": s["name"],
+            "wall_s": s["wall_s"],
+            "pid": s["pid"],
+            "attributes": ", ".join(f"{k}={v}" for k, v in s["attributes"].items()) or "-",
+        }
+        for s in summary["top_spans"]
+    )
+    if summary["metrics"]:
+        print()
+        print(
+            f"{len(summary['metrics'])} metric familie(s) recorded "
+            "(rerun with --json for the values)."
+        )
     return 0
 
 
@@ -573,52 +661,76 @@ def _run_report(args: argparse.Namespace, parallel: ParallelConfig | None, base_
     return 0
 
 
-def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
-    parser = build_parser()
-    args = parser.parse_args(argv)
-    try:
-        if args.command == "policies":
-            return _run_policies(args)
-        if args.command == "serve":
-            # Like "policies", serve takes no scenario: sessions carry their own.
-            from .serve.daemon import run_serve
+def _dispatch_command(args: argparse.Namespace) -> int:
+    """Run the parsed subcommand (tracing, if requested, is already installed)."""
+    if args.command == "policies":
+        return _run_policies(args)
+    if args.command == "obs":
+        return _run_obs(args)
+    if args.command == "serve":
+        # Like "policies", serve takes no scenario: sessions carry their own.
+        from .serve.daemon import run_serve
 
-            return run_serve(args)
-        spec = get_scenario(args.scenario)
-        overrides: dict[str, object] = {}
-        if args.seed is not None:
-            overrides["seed"] = args.seed
-        if args.months is not None:
-            overrides["n_months"] = args.months
-        if args.site is not None:
-            overrides["site"] = get_site(args.site)
-        if overrides:
-            spec = spec.replace(**overrides)
-        workers = _resolve_workers(args.workers)
-        # An explicit worker request also lowers the serial-fallback floor:
-        # the operator asked for processes, so small sweeps use them too.
-        parallel = (
-            ParallelConfig(n_workers=workers, min_tasks_for_processes=2)
-            if workers is not None
-            else None
-        )
-        if args.command == "sweep":
-            return _run_sweep(args, parallel, spec)
-        if args.command == "report":
-            return _run_report(args, parallel, spec)
-        definition = get_experiment(args.command)
-        session = ExperimentSession(spec, parallel=parallel)
-        params = {param.name: getattr(args, param.name) for param in definition.params}
-        result = definition.run(session, **params)
-    except GreenHPCError as exc:
-        print(f"greenhpc: error: {exc}", file=sys.stderr)
-        return 1
+        return run_serve(args)
+    spec = get_scenario(args.scenario)
+    overrides: dict[str, object] = {}
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.months is not None:
+        overrides["n_months"] = args.months
+    if args.site is not None:
+        overrides["site"] = get_site(args.site)
+    if overrides:
+        spec = spec.replace(**overrides)
+    workers = _resolve_workers(args.workers)
+    # An explicit worker request also lowers the serial-fallback floor:
+    # the operator asked for processes, so small sweeps use them too.
+    parallel = (
+        ParallelConfig(n_workers=workers, min_tasks_for_processes=2)
+        if workers is not None
+        else None
+    )
+    if args.command == "sweep":
+        return _run_sweep(args, parallel, spec)
+    if args.command == "report":
+        return _run_report(args, parallel, spec)
+    definition = get_experiment(args.command)
+    session = ExperimentSession(spec, parallel=parallel)
+    params = {param.name: getattr(args, param.name) for param in definition.params}
+    result = definition.run(session, **params)
     if args.json:
         print(result.to_json(indent=2))
     else:
         _render_text(result)
     return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    trace_out = getattr(args, "trace_out", None)
+    try:
+        if trace_out is None:
+            return _dispatch_command(args)
+        from .obs import TraceRecorder, set_recorder, write_trace
+
+        recorder = TraceRecorder(cpu_time=True)
+        previous = set_recorder(recorder)
+        try:
+            return _dispatch_command(args)
+        finally:
+            # Export even when the command failed: a partial trace of a
+            # crashed run is exactly what an operator wants to look at.
+            set_recorder(previous)
+            fmt = write_trace(recorder, trace_out)
+            print(
+                f"greenhpc: wrote {fmt} trace ({len(recorder)} span(s)) to {trace_out}",
+                file=sys.stderr,
+            )
+    except GreenHPCError as exc:
+        print(f"greenhpc: error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -49,6 +49,13 @@ class SimulatorObserver:
     running allocations, sample state, or record series.
     """
 
+    #: Transient observers are pure telemetry sinks: they never influence the
+    #: simulation and are excluded from checkpoints entirely, so snapshots
+    #: taken with one attached (e.g. the tracing-mode
+    #: :class:`~repro.obs.observer.MetricsObserver`) restore cleanly onto a
+    #: simulator without it — and vice versa.
+    transient: bool = False
+
     def on_job_start(self, simulator: "ClusterSimulator", job: "Job", now_h: float) -> None:
         """A job just transitioned to RUNNING and holds its allocation."""
 

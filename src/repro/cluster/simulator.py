@@ -49,13 +49,14 @@ Design notes
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Any, Optional, Sequence
 
 import numpy as np
 
 from ..config import FacilityConfig, require_positive
 from ..errors import CheckpointError, SimulationError, SteppingError
 from ..grid.iso_ne import IsoNeLikeGrid
+from ..obs.recorder import get_recorder
 from ..scheduler.base import ScheduleDecision, Scheduler, SchedulingContext
 from ..scheduler.job import Job, JobState
 from .cooling import CoolingModel
@@ -380,6 +381,14 @@ class ClusterSimulator:
         Lifecycle observers to attach; the scheduler's own
         :meth:`~repro.scheduler.base.Scheduler.observers` are appended
         automatically (pipeline stages such as adaptive power caps use this).
+    recorder:
+        Trace recorder for ``sim.begin``/``sim.advance``/``sim.finalize``
+        spans; defaults to the ambient :func:`repro.obs.get_recorder`.  When
+        the recorder is enabled a (checkpoint-transient)
+        :class:`~repro.obs.observer.MetricsObserver` is attached
+        automatically, publishing queue depth, IT power, GPU utilization and
+        round/job counters into its metrics registry; when disabled (the
+        default) the observer list and the hot loop are untouched.
     """
 
     def __init__(
@@ -393,6 +402,7 @@ class ClusterSimulator:
         grid: Optional[IsoNeLikeGrid] = None,
         parity_check: bool = False,
         observers: Optional[Sequence[SimulatorObserver]] = None,
+        recorder: Optional[Any] = None,
     ) -> None:
         self.cluster = cluster
         self.scheduler = scheduler
@@ -400,8 +410,15 @@ class ClusterSimulator:
         self.cooling = cooling
         self.grid = grid
         self.parity_check = bool(parity_check)
+        self._recorder = recorder if recorder is not None else get_recorder()
         self._observers: list[SimulatorObserver] = list(observers or ())
         self._observers.extend(scheduler.observers())
+        if self._recorder.enabled:
+            # Imported lazily: repro.obs.observer subclasses SimulatorObserver,
+            # so a module-level import would be circular.
+            from ..obs.observer import MetricsObserver
+
+            self._observers.append(MetricsObserver(self._recorder.metrics))
         n_hours_needed = int(np.ceil(self.config.horizon_h)) + 1
         if weather_hourly_c is not None:
             weather = np.asarray(weather_hourly_c, dtype=float)
@@ -650,13 +667,16 @@ class ClusterSimulator:
         """
         if self._begun:
             raise SteppingError("begin() called twice on the same simulator")
-        self._begun = True
-        for job in jobs:
-            self.submit(job)
-        config = self.config
-        n_ticks = int(np.floor(config.horizon_h / config.tick_h)) + 1
-        for k in range(n_ticks):
-            self._events.push(k * config.tick_h, EventType.TICK, None)
+        with self._recorder.span(
+            "sim.begin", n_jobs=len(jobs), policy=self.scheduler.name
+        ):
+            self._begun = True
+            for job in jobs:
+                self.submit(job)
+            config = self.config
+            n_ticks = int(np.floor(config.horizon_h / config.tick_h)) + 1
+            for k in range(n_ticks):
+                self._events.push(k * config.tick_h, EventType.TICK, None)
 
     def submit(self, job: Job) -> None:
         """Feed one PENDING job into the simulation at its own submit time.
@@ -706,7 +726,8 @@ class ClusterSimulator:
                 f"re-advancing to the same bound is a harmless no-op)"
             )
         self._advanced_to = max(self._advanced_to, float(until_h))
-        self._drain(min(until_h - 1e-9, self.config.horizon_h + 1e-9))
+        with self._recorder.span("sim.advance", until_h=float(until_h)):
+            self._drain(min(until_h - 1e-9, self.config.horizon_h + 1e-9))
 
     def _drain(self, limit_h: float) -> None:
         """The event loop: drain instants with time <= ``limit_h``."""
@@ -767,7 +788,8 @@ class ClusterSimulator:
         if self._finalized:
             raise SteppingError("finalize() called twice on the same simulator")
         config = self.config
-        self._drain(config.horizon_h + 1e-9)
+        with self._recorder.span("sim.finalize", policy=self.scheduler.name):
+            self._drain(config.horizon_h + 1e-9)
         self._finalized = True
 
         # Jobs still running at the horizon are accounted up to the horizon but
@@ -861,7 +883,14 @@ class ClusterSimulator:
             "tick_it_power": list(self._tick_it_power),
             "current_it_power_w": self._current_it_power_w,
             "cluster": self.cluster.snapshot_state(),
-            "observers": [observer.snapshot_state() for observer in self._observers],
+            # Transient observers (pure telemetry, e.g. tracing-mode metrics)
+            # are invisible to checkpoints, so snapshots restore cleanly
+            # whether or not tracing is enabled on the restoring side.
+            "observers": [
+                observer.snapshot_state()
+                for observer in self._observers
+                if not observer.transient
+            ],
         }
         return SimulatorSnapshot(
             version=SNAPSHOT_VERSION,
@@ -909,10 +938,12 @@ class ClusterSimulator:
                     f"{saved[field_name]!r}, simulator has {getattr(config, field_name)!r}"
                 )
         observer_states = state["observers"]
-        if len(observer_states) != len(self._observers):
+        durable_observers = [obs for obs in self._observers if not obs.transient]
+        if len(observer_states) != len(durable_observers):
             raise CheckpointError(
                 f"observer count mismatch: snapshot carries {len(observer_states)} "
-                f"observer states, simulator has {len(self._observers)} observers"
+                f"observer states, simulator has {len(durable_observers)} "
+                f"checkpointed observers"
             )
 
         jobs_by_id: dict[str, Job] = {}
@@ -949,7 +980,7 @@ class ClusterSimulator:
         self._begun = True
         self._finalized = False
         self._power_summary = None
-        for observer, observer_state in zip(self._observers, observer_states):
+        for observer, observer_state in zip(durable_observers, observer_states):
             observer.restore_state(observer_state)
 
     @staticmethod

@@ -67,6 +67,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 from ..config import config_to_jsonable
 from ..errors import ConfigurationError, DataError, SchedulingError
+from ..obs.profile import RunProfile
+from ..obs.recorder import get_recorder
 from ..parallel.pool import ParallelConfig, map_parallel
 from ..parallel.sweep import SweepPoint, grid_points
 from ..rng import derive_seed
@@ -341,9 +343,17 @@ def clear_worker_sessions() -> None:
 def _evaluate_campaign_point(
     point: CampaignPoint, session_parallel: Optional[ParallelConfig] = None
 ) -> ExperimentResult:
-    """Run one campaign point on the worker-local session for its spec."""
-    session = _worker_session(point.spec, session_parallel)
-    return session.run(point.experiment, **dict(point.params))
+    """Run one campaign point on the worker-local session for its spec.
+
+    The ``campaign.evaluate`` span lands in the coordinator's trace for
+    serial point execution; with process-parallel points the workers' spans
+    stay worker-local (point results, not traces, cross that boundary).
+    """
+    with get_recorder().span(
+        "campaign.evaluate", index=point.index, experiment=point.experiment
+    ):
+        session = _worker_session(point.spec, session_parallel)
+        return session.run(point.experiment, **dict(point.params))
 
 
 def result_to_payload(result: ExperimentResult) -> dict[str, Any]:
@@ -419,27 +429,68 @@ def run_campaign(
     if session_parallel is None:
         session_parallel = parallel
     evaluate = functools.partial(_evaluate_campaign_point, session_parallel=session_parallel)
+    recorder = get_recorder()
+    mark = recorder.mark()
+
+    def campaign_profile(span: Any) -> Optional[RunProfile]:
+        if not recorder.enabled:
+            return None
+        return RunProfile.from_spans(
+            recorder.spans_since(mark),
+            total_s=span.record.wall_s,
+            metrics=recorder.metrics.snapshot(),
+        )
+
     if store is None:
-        results = map_parallel(evaluate, points, parallel)
-        return CampaignResult(campaign=campaign, points=tuple(points), results=tuple(results))
+        with recorder.span(
+            "campaign.run", n_points=len(points), cached=False
+        ) as run_span:
+            results = map_parallel(evaluate, points, parallel)
+        return CampaignResult(
+            campaign=campaign,
+            points=tuple(points),
+            results=tuple(results),
+            profile=campaign_profile(run_span),
+        )
 
     from ..artifacts.keys import code_version, run_key
 
     if version is None:
         version = code_version()
-    key_by_index = {point.index: run_key(point, version=version) for point in points}
-    by_index: dict[int, ExperimentResult] = {}
-    if not force:
-        for point in points:
-            payload = store.get(key_by_index[point.index])
-            if payload is not None:
-                by_index[point.index] = result_from_payload(point, payload)
-    missed = [point for point in points if point.index not in by_index]
-    fresh = map_parallel(evaluate, missed, parallel)
-    for point, result in zip(missed, fresh):
-        payload = result_to_payload(result)
-        store.put(key_by_index[point.index], payload)
-        by_index[point.index] = result_from_payload(point, payload)
+    with recorder.span("campaign.run", n_points=len(points), cached=True) as run_span:
+        key_by_index = {point.index: run_key(point, version=version) for point in points}
+        by_index: dict[int, ExperimentResult] = {}
+        if not force:
+            for point in points:
+                payload = store.get(key_by_index[point.index])
+                if payload is not None:
+                    by_index[point.index] = result_from_payload(point, payload)
+                    recorder.event(
+                        "campaign.point",
+                        index=point.index,
+                        experiment=point.experiment,
+                        cache="hit",
+                    )
+        missed = [point for point in points if point.index not in by_index]
+        if missed:
+            # Cache-hit points never enter this span: a warm trace shows
+            # campaign.point hit markers and no campaign.simulate at all.
+            with recorder.span("campaign.simulate", n_points=len(missed)):
+                fresh = map_parallel(evaluate, missed, parallel)
+        else:
+            fresh = []
+        for point, result in zip(missed, fresh):
+            payload = result_to_payload(result)
+            store.put(key_by_index[point.index], payload)
+            by_index[point.index] = result_from_payload(point, payload)
+            recorder.event(
+                "campaign.point",
+                index=point.index,
+                experiment=point.experiment,
+                cache="miss",
+            )
+        run_span.set("cache_hits", len(points) - len(missed))
+        run_span.set("cache_misses", len(missed))
     results = tuple(by_index[point.index] for point in points)
     return CampaignResult(
         campaign=campaign,
@@ -447,6 +498,7 @@ def run_campaign(
         results=results,
         cache_hits=len(points) - len(missed),
         cache_misses=len(missed),
+        profile=campaign_profile(run_span),
     )
 
 
@@ -472,6 +524,11 @@ class CampaignResult:
     (``run_campaign(..., store=...)``), ``cache_hits``/``cache_misses``
     record how many points were served from the store versus simulated;
     both are ``None`` for uncached runs.
+
+    ``profile`` is the run's :class:`~repro.obs.profile.RunProfile` when the
+    campaign executed under tracing, else ``None``; it never participates in
+    ``rows`` or cached payloads, so warm/cold and traced/untraced campaign
+    rows stay byte-identical.
     """
 
     campaign: CampaignSpec
@@ -479,6 +536,7 @@ class CampaignResult:
     results: tuple[ExperimentResult, ...]
     cache_hits: Optional[int] = None
     cache_misses: Optional[int] = None
+    profile: Optional[RunProfile] = None
 
     def __post_init__(self) -> None:
         if len(self.points) != len(self.results):
@@ -596,6 +654,8 @@ class CampaignResult:
         if self.cache_hits is not None:
             payload["cache_hits"] = self.cache_hits
             payload["cache_misses"] = self.cache_misses
+        if self.profile is not None:
+            payload["profile"] = config_to_jsonable(self.profile.to_dict())
         if include_results:
             payload["results"] = [result.to_dict() for result in self.results]
         return payload

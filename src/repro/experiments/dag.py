@@ -42,6 +42,7 @@ from ..artifacts.keys import code_version, derived_key, run_key
 from ..artifacts.store import ArtifactStore
 from ..config import config_to_jsonable
 from ..errors import ArtifactError
+from ..obs.recorder import get_recorder
 from ..parallel.pool import ParallelConfig
 from .campaign import CampaignResult, CampaignSpec, run_campaign
 from .report import render_html, render_markdown
@@ -307,33 +308,40 @@ class CampaignDAG:
         )
         stage_status["run"] = f"{result.cache_hits} cached, {result.cache_misses} simulated"
 
-        summary = None if force else self.store.get(self.summarize_key)
-        if summary is None:
-            summary = summarize_payload(result)
-            self.store.put(self.summarize_key, summary)
-            stage_status["summarize"] = "computed"
-        else:
-            stage_status["summarize"] = "cached"
+        recorder = get_recorder()
+        with recorder.span("dag.summarize") as span:
+            summary = None if force else self.store.get(self.summarize_key)
+            if summary is None:
+                summary = summarize_payload(result)
+                self.store.put(self.summarize_key, summary)
+                stage_status["summarize"] = "computed"
+            else:
+                stage_status["summarize"] = "cached"
+            span.set("status", stage_status["summarize"])
 
-        comparison = None if force else self.store.get(self.compare_key)
-        if comparison is None:
-            comparison = compare_payload(summary)
-            self.store.put(self.compare_key, comparison)
-            stage_status["compare"] = "computed"
-        else:
-            stage_status["compare"] = "cached"
+        with recorder.span("dag.compare") as span:
+            comparison = None if force else self.store.get(self.compare_key)
+            if comparison is None:
+                comparison = compare_payload(summary)
+                self.store.put(self.compare_key, comparison)
+                stage_status["compare"] = "computed"
+            else:
+                stage_status["compare"] = "cached"
+            span.set("status", stage_status["compare"])
 
-        report = None if force else self.store.get(self.report_key)
-        if report is None or set(REPORT_FORMATS) - set(report):
-            title = self.campaign.base.name
-            report = {
-                "markdown": render_markdown(comparison, title=title),
-                "html": render_html(comparison, title=title),
-            }
-            self.store.put(self.report_key, report)
-            stage_status["report"] = "computed"
-        else:
-            stage_status["report"] = "cached"
+        with recorder.span("dag.report") as span:
+            report = None if force else self.store.get(self.report_key)
+            if report is None or set(REPORT_FORMATS) - set(report):
+                title = self.campaign.base.name
+                report = {
+                    "markdown": render_markdown(comparison, title=title),
+                    "html": render_html(comparison, title=title),
+                }
+                self.store.put(self.report_key, report)
+                stage_status["report"] = "computed"
+            else:
+                stage_status["report"] = "cached"
+            span.set("status", stage_status["report"])
 
         return DagOutcome(
             result=result,

@@ -10,10 +10,13 @@ and per-parameter flags — no CLI edits required.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Optional, TYPE_CHECKING
 
 from ..errors import ConfigurationError
+from ..obs.profile import RunProfile
+from ..obs.recorder import get_recorder
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .result import ExperimentResult
@@ -97,13 +100,33 @@ class ExperimentDefinition:
         return resolved
 
     def run(self, session: "ExperimentSession", **overrides: Any) -> "ExperimentResult":
-        """Run the experiment on ``session`` with resolved parameters."""
+        """Run the experiment on ``session`` with resolved parameters.
+
+        Every run is wrapped in an ``experiment.<name>`` span.  When tracing
+        is enabled, the spans recorded during the run are condensed into a
+        :class:`~repro.obs.profile.RunProfile` and attached to the returned
+        result; with tracing off the result is bit-identical to an untraced
+        build (``profile=None``, no clocks read).
+        """
         if session.spec.n_months < self.min_months:
             raise ConfigurationError(
                 f"experiment {self.name!r} needs a horizon of at least "
                 f"{self.min_months} months, got {session.spec.n_months}"
             )
-        return self.runner(session, **self.resolve_params(**overrides))
+        recorder = get_recorder()
+        if not recorder.enabled:
+            return self.runner(session, **self.resolve_params(**overrides))
+        mark = recorder.mark()
+        with recorder.span(
+            "experiment.run", experiment=self.name, scenario=session.spec.name
+        ) as run_span:
+            result = self.runner(session, **self.resolve_params(**overrides))
+        profile = RunProfile.from_spans(
+            recorder.spans_since(mark),
+            total_s=run_span.record.wall_s,
+            metrics=recorder.metrics.snapshot(),
+        )
+        return dataclasses.replace(result, profile=profile)
 
 
 _EXPERIMENTS: dict[str, ExperimentDefinition] = {}

@@ -12,10 +12,11 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import Any, Mapping, Optional
 
 from ..config import config_to_jsonable
 from ..errors import DataError
+from ..obs.profile import RunProfile
 from .spec import ScenarioSpec
 
 __all__ = ["ExperimentResult"]
@@ -39,6 +40,11 @@ class ExperimentResult:
         The experiment parameters the run resolved to (defaults + overrides).
     notes:
         Optional human-oriented summary lines for text rendering.
+    profile:
+        The run's :class:`~repro.obs.profile.RunProfile`, attached by the
+        registry only when tracing is enabled; ``None`` otherwise.  Never
+        part of cached campaign payloads — wall-clock is run telemetry, not
+        a result, and cached results must stay byte-identical across hosts.
     """
 
     name: str
@@ -47,6 +53,7 @@ class ExperimentResult:
     scalars: Mapping[str, Any] = field(default_factory=dict)
     params: Mapping[str, Any] = field(default_factory=dict)
     notes: tuple[str, ...] = ()
+    profile: Optional[RunProfile] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "rows", tuple(dict(row) for row in self.rows))
@@ -67,8 +74,13 @@ class ExperimentResult:
         return [row.get(key) for row in self.rows]
 
     def to_dict(self) -> dict[str, Any]:
-        """Strict-JSON-ready dictionary form of the whole result."""
-        return {
+        """Strict-JSON-ready dictionary form of the whole result.
+
+        ``profile`` appears only when one was attached (a traced run), so
+        untraced output — and everything hashed or cached downstream — is
+        byte-identical to pre-observability builds.
+        """
+        payload = {
             "experiment": self.name,
             "spec": self.spec.to_dict(),
             "params": config_to_jsonable(self.params),
@@ -76,6 +88,9 @@ class ExperimentResult:
             "scalars": config_to_jsonable(self.scalars),
             "notes": list(self.notes),
         }
+        if self.profile is not None:
+            payload["profile"] = config_to_jsonable(self.profile.to_dict())
+        return payload
 
     def to_json(self, *, indent: int | None = None) -> str:
         """Serialize :meth:`to_dict` as strict JSON text."""

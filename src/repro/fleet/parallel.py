@@ -35,7 +35,6 @@ hosted; worker-side exceptions are forwarded verbatim and re-raised as
 from __future__ import annotations
 
 import multiprocessing as mp
-import time
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Optional, Sequence
 
@@ -48,6 +47,7 @@ from ..core.levers import make_scheduler
 from ..errors import FleetError, SimulationError
 from ..experiments.spec import ScenarioSpec
 from ..grid.iso_ne import IsoNeLikeGrid
+from ..obs.recorder import NULL_RECORDER, SpanRecord, TraceRecorder, set_recorder
 from ..scheduler.job import Job
 
 __all__ = ["SitePayload", "SiteState", "SiteFinal", "FleetWorkerPool", "fleet_start_method"]
@@ -93,11 +93,24 @@ SiteState = tuple  # noqa: UP006 - 7-tuple documented above
 
 @dataclass(frozen=True)
 class SiteFinal:
-    """One site's end-of-run payload: full result, power summary, timings."""
+    """One site's end-of-run payload: full result, power summary, and the
+    ``fleet.site_advance`` spans recorded while stepping it.
+
+    The spans are what used to be hand-rolled ``perf_counter`` sums: workers
+    (and the serial backend) record one span per site per window into a local
+    :class:`~repro.obs.recorder.TraceRecorder` and ship the batch here at
+    finalize, so parallel traces show per-site timelines and
+    :class:`~repro.fleet.result.FleetStepTimings` stays a pure recorder view.
+    """
 
     result: SimulationResult
     power: SitePowerSummary
-    advance_wall_s: float
+    spans: tuple[SpanRecord, ...] = ()
+
+    @property
+    def advance_wall_s(self) -> float:
+        """Total wall seconds spent advancing this site's simulator."""
+        return sum(s.wall_s for s in self.spans if s.name == "fleet.site_advance")
 
 
 def build_site_simulator(payload: SitePayload) -> ClusterSimulator:
@@ -155,14 +168,19 @@ def _fleet_worker_main(conn: Any, payloads: Sequence[SitePayload]) -> None:
     send no reply (``submit-batch``) defer any failure to the next replying
     command, so the coordinator's pipelined send pattern still observes it.
     """
+    # Fork-started workers inherit the coordinator's ambient recorder; reset
+    # it so instrumented layers in this process stay no-op — site stepping is
+    # timed explicitly into the local recorder below and shipped at finalize.
+    set_recorder(NULL_RECORDER)
+    recorder = TraceRecorder()
     sims: dict[int, ClusterSimulator] = {}
-    advance_wall: dict[int, float] = {}
+    site_names: dict[int, str] = {}
     deferred_error: Optional[str] = None
     try:
         try:
             for payload in payloads:
                 sims[payload.index] = build_site_simulator(payload)
-                advance_wall[payload.index] = 0.0
+                site_names[payload.index] = payload.spec.name
         except Exception as exc:  # noqa: BLE001 - forwarded to the coordinator
             conn.send(("error", str(exc)))
             return
@@ -189,9 +207,13 @@ def _fleet_worker_main(conn: Any, payloads: Sequence[SitePayload]) -> None:
                 elif command == "advance":
                     _, until_h, snapshot_h = message
                     for index in sorted(sims):
-                        t0 = time.perf_counter()
-                        sims[index].advance(until_h)
-                        advance_wall[index] += time.perf_counter() - t0
+                        with recorder.span(
+                            "fleet.site_advance",
+                            site=site_names[index],
+                            index=index,
+                            until_h=until_h,
+                        ):
+                            sims[index].advance(until_h)
                     conn.send(
                         ("ok", {i: site_state(sims[i], snapshot_h) for i in sorted(sims)})
                     )
@@ -201,13 +223,18 @@ def _fleet_worker_main(conn: Any, payloads: Sequence[SitePayload]) -> None:
                 elif command == "power-summary":
                     conn.send(("ok", {i: sims[i].site_power_summary() for i in sorted(sims)}))
                 elif command == "finalize":
+                    site_spans: dict[int, list[SpanRecord]] = {i: [] for i in sims}
+                    for record in recorder.spans:
+                        owner = record.attributes.get("index")
+                        if owner in site_spans:
+                            site_spans[owner].append(record)
                     finals = {}
                     for index in sorted(sims):
                         result = sims[index].finalize()
                         finals[index] = SiteFinal(
                             result=result,
                             power=sims[index].site_power_summary(),
-                            advance_wall_s=advance_wall[index],
+                            spans=tuple(site_spans[index]),
                         )
                     conn.send(("ok", finals))
                 else:

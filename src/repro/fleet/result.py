@@ -12,13 +12,14 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Any, Optional, Sequence
 
 import numpy as np
 
 from ..cluster.simulator import SimulationResult, SitePowerSummary
 from ..config import config_to_jsonable
 from ..errors import FleetError
+from ..obs.profile import RunProfile
 
 __all__ = ["JobAssignment", "FleetStepTimings", "FleetResult"]
 
@@ -72,6 +73,42 @@ class FleetStepTimings:
     advance_s: float
     site_advance_s: tuple[float, ...]
 
+    @classmethod
+    def from_spans(
+        cls,
+        *,
+        mode: str,
+        n_workers: int,
+        n_windows: int,
+        run_span: Any,
+        route_spans: Sequence[Any],
+        advance_spans: Sequence[Any],
+        site_spans: Sequence[Sequence[Any]],
+    ) -> "FleetStepTimings":
+        """Build the timing breakdown as a view over recorded spans.
+
+        ``run_span`` is the finished ``fleet.run``
+        :class:`~repro.obs.recorder.SpanRecord`; ``route_spans`` /
+        ``advance_spans`` are the coordinator's per-window ``fleet.route`` /
+        ``fleet.advance`` records; ``site_spans`` holds each member's
+        ``fleet.site_advance`` records, in member order.  This is the only
+        constructor :meth:`~repro.fleet.simulator.FleetSimulator.run` uses —
+        the dataclass fields (and :meth:`to_dict`) are unchanged, the wall
+        times just come from the trace instead of inline clock arithmetic.
+        """
+        return cls(
+            mode=mode,
+            n_workers=n_workers,
+            n_windows=n_windows,
+            total_s=run_span.wall_s,
+            route_s=float(sum(s.wall_s for s in route_spans)),
+            advance_s=float(sum(s.wall_s for s in advance_spans)),
+            site_advance_s=tuple(
+                float(sum(s.wall_s for s in spans if s.name == "fleet.site_advance"))
+                for spans in site_spans
+            ),
+        )
+
     @property
     def max_site_advance_s(self) -> float:
         """The slowest site's cumulative advance time (parallel critical path)."""
@@ -116,6 +153,10 @@ class FleetResult:
     step_timings:
         Wall-clock breakdown of the lockstep loop (:class:`FleetStepTimings`);
         ``None`` only for results constructed outside the simulator.
+    profile:
+        The run's :class:`~repro.obs.profile.RunProfile` — per-span-name
+        aggregates over the fleet trace; ``None`` only for results
+        constructed outside the simulator.
     """
 
     fleet_name: str
@@ -126,6 +167,7 @@ class FleetResult:
     site_power: tuple[SitePowerSummary, ...]
     assignments: tuple[JobAssignment, ...]
     step_timings: Optional[FleetStepTimings] = None
+    profile: Optional[RunProfile] = None
 
     def __post_init__(self) -> None:
         if len(self.site_names) != len(self.site_results) or len(self.site_names) != len(
@@ -316,6 +358,8 @@ class FleetResult:
         }
         if self.step_timings is not None:
             payload["step_timings"] = self.step_timings.to_dict()
+        if self.profile is not None:
+            payload["profile"] = self.profile.to_dict()
         if include_assignments:
             payload["assignments"] = [
                 {

@@ -30,11 +30,12 @@ fleet builds each site's world once, not R times.
 from __future__ import annotations
 
 import math
-import time
 from typing import Any, Mapping, Optional, Sequence, Union
 
 from ..errors import FleetError
 from ..experiments.session import ExperimentSession
+from ..obs.profile import RunProfile
+from ..obs.recorder import SpanRecord, TraceRecorder, get_recorder
 from ..parallel.pool import ParallelConfig
 from ..scheduler.job import Job
 from .parallel import (
@@ -65,12 +66,16 @@ class _SerialBackend:
     def __init__(self, payloads: Sequence[SitePayload]) -> None:
         self._payloads = tuple(payloads)
         self._sims: dict[int, Any] = {}
-        self._advance_wall: dict[int, float] = {}
+        self._names: dict[int, str] = {}
+        # Site stepping is always timed (FleetStepTimings is a view over
+        # these spans); a private recorder keeps that identical whether or
+        # not the ambient recorder is enabled.
+        self._recorder = TraceRecorder()
 
     def __enter__(self) -> "_SerialBackend":
         for payload in self._payloads:
             self._sims[payload.index] = build_site_simulator(payload)
-            self._advance_wall[payload.index] = 0.0
+            self._names[payload.index] = payload.spec.name
         return self
 
     def __exit__(self, *exc_info: Any) -> None:
@@ -91,22 +96,31 @@ class _SerialBackend:
 
     def advance(self, until_h: float, snapshot_h: float) -> dict[int, SiteState]:
         for index in sorted(self._sims):
-            t0 = time.perf_counter()
-            self._sims[index].advance(until_h)
-            self._advance_wall[index] += time.perf_counter() - t0
+            with self._recorder.span(
+                "fleet.site_advance",
+                site=self._names[index],
+                index=index,
+                until_h=until_h,
+            ):
+                self._sims[index].advance(until_h)
         return self._states(snapshot_h)
 
     def snapshot(self, at_h: float) -> dict[int, SiteState]:
         return self._states(at_h)
 
     def finalize(self) -> dict[int, SiteFinal]:
+        site_spans: dict[int, list[SpanRecord]] = {i: [] for i in self._sims}
+        for record in self._recorder.spans:
+            owner = record.attributes.get("index")
+            if owner in site_spans:
+                site_spans[owner].append(record)
         finals = {}
         for index in sorted(self._sims):
             sim = self._sims[index]
             finals[index] = SiteFinal(
                 result=sim.finalize(),
                 power=sim.site_power_summary(),
-                advance_wall_s=self._advance_wall[index],
+                spans=tuple(site_spans[index]),
             )
         return finals
 
@@ -232,9 +246,22 @@ class FleetSimulator:
         else:
             backend = _SerialBackend(self._site_payloads())
 
-        t_start = time.perf_counter()
-        route_s = 0.0
-        advance_s = 0.0
+        mode = "parallel" if workers > 1 else "serial"
+        # The fleet loop is always timed — FleetStepTimings is a view over
+        # these spans — into the ambient recorder when tracing is on, else a
+        # private one that never leaves this call.
+        ambient = get_recorder()
+        recorder = ambient if ambient.enabled else TraceRecorder()
+        run_span = recorder.span(
+            "fleet.run",
+            fleet=self.fleet.name,
+            router=self.router.name,
+            policy=self.policy,
+            mode=mode,
+            n_sites=len(members),
+        )
+        route_records: list[SpanRecord] = []
+        advance_records: list[SpanRecord] = []
         dispatched = [0] * len(members)
         assignments: list[JobAssignment] = []
         self.router.begin_fleet(len(members))
@@ -296,7 +323,7 @@ class FleetSimulator:
 
         n_hours = int(math.ceil(self.horizon_h))
         cursor = 0
-        with backend:
+        with run_span, backend:
             states = backend.begin()
             for hour in range(n_hours):
                 # Route this window's arrivals first, then advance every site
@@ -307,13 +334,15 @@ class FleetSimulator:
                     window.append(trace[cursor])
                     cursor += 1
                 if window:
-                    t0 = time.perf_counter()
-                    batches = route_window(window, states, float(hour), hour)
-                    route_s += time.perf_counter() - t0
+                    with recorder.span(
+                        "fleet.route", hour=hour, n_jobs=len(window)
+                    ) as route_span:
+                        batches = route_window(window, states, float(hour), hour)
+                    route_records.append(route_span.record)
                     backend.submit_batch(batches)
-                t0 = time.perf_counter()
-                states = backend.advance(hour + 1.0, float(hour + 1))
-                advance_s += time.perf_counter() - t0
+                with recorder.span("fleet.advance", hour=hour) as advance_span:
+                    states = backend.advance(hour + 1.0, float(hour + 1))
+                advance_records.append(advance_span.record)
             if cursor < len(trace):
                 # Jobs submitting at/after the horizon still get routed (and
                 # recorded as never-started), so every generated job is
@@ -323,20 +352,37 @@ class FleetSimulator:
                 # simulation ends carries no signal.
                 tail_h = min(self.horizon_h, float(max(n_hours - 1, 0)))
                 states = backend.snapshot(tail_h)
-                t0 = time.perf_counter()
-                batches = route_window(trace[cursor:], states, tail_h, n_hours)
-                route_s += time.perf_counter() - t0
+                with recorder.span(
+                    "fleet.route", hour=n_hours, n_jobs=len(trace) - cursor, tail=True
+                ) as route_span:
+                    batches = route_window(trace[cursor:], states, tail_h, n_hours)
+                route_records.append(route_span.record)
                 backend.submit_batch(batches)
             finals = backend.finalize()
 
-        step_timings = FleetStepTimings(
-            mode="parallel" if workers > 1 else "serial",
+        # Merge the per-site stepping spans (recorded worker-side in parallel
+        # mode, backend-side in serial mode) into this run's recorder, so an
+        # exported trace shows one timeline per site/process.
+        site_span_batches = [list(finals[i].spans) for i in range(len(members))]
+        for batch in site_span_batches:
+            recorder.extend(batch)
+
+        step_timings = FleetStepTimings.from_spans(
+            mode=mode,
             n_workers=backend.n_workers,
             n_windows=n_hours,
-            total_s=time.perf_counter() - t_start,
-            route_s=route_s,
-            advance_s=advance_s,
-            site_advance_s=tuple(finals[i].advance_wall_s for i in range(len(members))),
+            run_span=run_span.record,
+            route_spans=route_records,
+            advance_spans=advance_records,
+            site_spans=site_span_batches,
+        )
+        all_spans = [run_span.record, *route_records, *advance_records]
+        for batch in site_span_batches:
+            all_spans.extend(batch)
+        profile = RunProfile.from_spans(
+            all_spans,
+            total_s=run_span.record.wall_s,
+            metrics=recorder.metrics.snapshot(),
         )
         return FleetResult(
             fleet_name=self.fleet.name,
@@ -347,4 +393,5 @@ class FleetSimulator:
             site_power=tuple(finals[i].power for i in range(len(members))),
             assignments=tuple(assignments),
             step_timings=step_timings,
+            profile=profile,
         )

@@ -1,0 +1,253 @@
+"""Trace exporters and readers.
+
+Three output formats, all stdlib:
+
+* **Chrome trace_event JSON** (:func:`chrome_trace` / ``*.json``) — the
+  ``{"traceEvents": [...]}`` document Perfetto (https://ui.perfetto.dev) and
+  ``chrome://tracing`` load directly; spans become complete (``"ph": "X"``)
+  events on per-process/per-thread tracks, so a parallel fleet run shows one
+  timeline per worker.
+* **NDJSON event log** (:func:`write_ndjson` / ``*.ndjson``) — one JSON
+  object per line (``meta``, then ``span`` rows, then ``metric`` rows),
+  greppable and streamable.
+* **Prometheus text** — via :meth:`repro.obs.metrics.MetricsRegistry.
+  to_prometheus`; the serve daemon's ``GET /metrics`` endpoint renders it.
+
+:func:`write_trace` picks the format from the path suffix, and
+:func:`load_trace`/:func:`summarize_trace` read either span format back —
+``greenhpc obs TRACE`` is a thin CLI shell over them.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping, Optional, Sequence, TextIO, Union
+
+from ..errors import ConfigurationError, DataError
+from .profile import aggregate_spans
+from .recorder import SpanRecord, TraceRecorder
+
+__all__ = [
+    "chrome_trace",
+    "write_ndjson",
+    "write_trace",
+    "load_trace",
+    "summarize_trace",
+]
+
+
+def _span_records(source: Union[TraceRecorder, Sequence[SpanRecord]]) -> list[SpanRecord]:
+    return list(source.spans) if hasattr(source, "spans") else list(source)
+
+
+def _metrics_snapshot(source: Any) -> dict[str, Any]:
+    metrics = getattr(source, "metrics", None)
+    return metrics.snapshot() if metrics is not None else {}
+
+
+def chrome_trace(
+    source: Union[TraceRecorder, Sequence[SpanRecord]],
+    *,
+    metrics: Optional[Mapping[str, Any]] = None,
+) -> dict[str, Any]:
+    """The Chrome ``trace_event`` document for a recorder (or span list).
+
+    Timestamps are microseconds relative to the earliest span, so the file
+    carries no absolute clock readings.  Process/thread metadata events name
+    each track; the metrics snapshot (when present) rides along under
+    ``otherData`` where Perfetto surfaces it as trace metadata.
+    """
+    spans = _span_records(source)
+    if metrics is None:
+        metrics = _metrics_snapshot(source)
+    t0 = min((span.start_s for span in spans), default=0.0)
+    events: list[dict[str, Any]] = []
+    seen_tracks: set[tuple[int, int]] = set()
+    for span in sorted(spans, key=lambda s: s.start_s):
+        if (span.pid, span.tid) not in seen_tracks:
+            seen_tracks.add((span.pid, span.tid))
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": span.pid,
+                    "tid": span.tid,
+                    "args": {"name": f"greenhpc pid {span.pid}"},
+                }
+            )
+        args = {k: _jsonable(v) for k, v in span.attributes.items()}
+        if span.cpu_s is not None:
+            args["cpu_s"] = span.cpu_s
+        events.append(
+            {
+                "name": span.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": (span.start_s - t0) * 1e6,
+                "dur": span.wall_s * 1e6,
+                "pid": span.pid,
+                "tid": span.tid,
+                "args": args,
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"generator": "repro.obs", "metrics": dict(metrics)},
+    }
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def write_ndjson(
+    source: Union[TraceRecorder, Sequence[SpanRecord]],
+    stream: TextIO,
+    *,
+    metrics: Optional[Mapping[str, Any]] = None,
+) -> int:
+    """Write the NDJSON event log to ``stream``; returns the line count."""
+    spans = _span_records(source)
+    if metrics is None:
+        metrics = _metrics_snapshot(source)
+    t0 = min((span.start_s for span in spans), default=0.0)
+    lines = 1
+    stream.write(json.dumps({"type": "meta", "generator": "repro.obs", "t0_s": t0}) + "\n")
+    for span in sorted(spans, key=lambda s: s.start_s):
+        row = span.to_dict()
+        row["start_s"] = span.start_s - t0
+        row["attributes"] = {k: _jsonable(v) for k, v in row["attributes"].items()}
+        stream.write(json.dumps({"type": "span", **row}) + "\n")
+        lines += 1
+    for name, family in dict(metrics).items():
+        for entry in family.get("series", []):
+            stream.write(
+                json.dumps(
+                    {"type": "metric", "name": name, "kind": family.get("kind"), **entry}
+                )
+                + "\n"
+            )
+            lines += 1
+    return lines
+
+
+def write_trace(recorder: TraceRecorder, path: str) -> str:
+    """Export ``recorder`` to ``path``; the suffix picks the format.
+
+    ``*.ndjson`` writes the NDJSON event log; anything else writes the
+    Chrome ``trace_event`` JSON document.  Returns the format written.
+    """
+    if path.endswith(".ndjson"):
+        with open(path, "w") as stream:
+            write_ndjson(recorder, stream)
+        return "ndjson"
+    with open(path, "w") as stream:
+        json.dump(chrome_trace(recorder), stream)
+        stream.write("\n")
+    return "chrome"
+
+
+def load_trace(path: str) -> dict[str, Any]:
+    """Read a trace file (either exported format) back to spans + metrics.
+
+    Returns ``{"format", "spans", "metrics"}`` where each span is a plain
+    dict carrying at least ``name``/``wall_s``/``pid``/``tid``/``attributes``.
+    """
+    try:
+        with open(path) as stream:
+            text = stream.read()
+    except OSError as exc:
+        raise DataError(f"cannot read trace file {path!r}: {exc}") from exc
+    if not text.strip():
+        raise DataError(f"trace file {path!r} is empty")
+    first_line = text.lstrip().splitlines()[0]
+    try:
+        document = json.loads(text)
+    except ValueError:
+        document = None
+    if isinstance(document, dict) and "traceEvents" in document:
+        spans = []
+        for event in document["traceEvents"]:
+            if event.get("ph") != "X":
+                continue
+            args = dict(event.get("args", {}))
+            spans.append(
+                {
+                    "name": event.get("name", "?"),
+                    "start_s": float(event.get("ts", 0.0)) / 1e6,
+                    "wall_s": float(event.get("dur", 0.0)) / 1e6,
+                    "cpu_s": args.pop("cpu_s", None),
+                    "pid": event.get("pid"),
+                    "tid": event.get("tid"),
+                    "parent_id": None,
+                    "attributes": args,
+                }
+            )
+        metrics = document.get("otherData", {}).get("metrics", {})
+        return {"format": "chrome", "spans": spans, "metrics": metrics}
+    # NDJSON: one JSON object per line.
+    try:
+        rows = [json.loads(line) for line in text.splitlines() if line.strip()]
+    except ValueError as exc:
+        raise DataError(f"trace file {path!r} is neither Chrome JSON nor NDJSON: {exc}") from None
+    if not all(isinstance(row, dict) for row in rows):
+        raise DataError(f"trace file {path!r} has non-object NDJSON lines")
+    spans = [row for row in rows if row.get("type") == "span"]
+    metrics: dict[str, Any] = {}
+    for row in rows:
+        if row.get("type") == "metric":
+            family = metrics.setdefault(
+                row["name"], {"kind": row.get("kind"), "help": "", "series": []}
+            )
+            entry = {k: v for k, v in row.items() if k not in ("type", "name", "kind")}
+            family["series"].append(entry)
+    if not spans and not metrics:
+        raise DataError(
+            f"trace file {path!r} contains no spans or metrics "
+            f"(first line: {first_line[:80]!r})"
+        )
+    return {"format": "ndjson", "spans": spans, "metrics": metrics}
+
+
+def summarize_trace(trace: Mapping[str, Any], *, top: int = 15) -> dict[str, Any]:
+    """The ``greenhpc obs`` digest of a loaded trace.
+
+    ``phases`` aggregates spans per name (count/total/mean/max/share of the
+    top-level total); ``top_spans`` lists the ``top`` longest individual
+    spans with their attributes.
+    """
+    if top < 1:
+        raise ConfigurationError(f"top must be >= 1, got {top!r}")
+    spans = list(trace.get("spans", []))
+    phases = aggregate_spans(spans)
+    total = sum(
+        entry["total_s"]
+        for entry in phases
+        # Nested spans double-count; the per-name shares stay comparable by
+        # normalizing against the largest aggregate instead of a tree walk.
+    )
+    reference = phases[0]["total_s"] if phases else 0.0
+    for entry in phases:
+        entry["mean_s"] = entry["total_s"] / entry["count"]
+        entry["share"] = entry["total_s"] / reference if reference else 0.0
+    top_spans = sorted(spans, key=lambda s: -float(s.get("wall_s", 0.0)))[:top]
+    processes = sorted({(s.get("pid"), s.get("tid")) for s in spans})
+    return {
+        "n_spans": len(spans),
+        "n_tracks": len(processes),
+        "recorded_total_s": total,
+        "phases": phases,
+        "top_spans": [
+            {
+                "name": s.get("name"),
+                "wall_s": float(s.get("wall_s", 0.0)),
+                "pid": s.get("pid"),
+                "attributes": dict(s.get("attributes", {})),
+            }
+            for s in top_spans
+        ],
+        "metrics": dict(trace.get("metrics", {})),
+    }

@@ -18,6 +18,7 @@ POST   ``/sessions/{id}/checkpoint``       checkpoint now
 POST   ``/sessions/{id}/finalize``         finalize; returns the run summary
 GET    ``/sessions/{id}/telemetry``        NDJSON tick stream (``since``, ``follow``)
 POST   ``/route``                          what-if routing across live sessions
+GET    ``/metrics``                        Prometheus text exposition (scrapeable)
 ====== =================================== ======================================
 
 Error mapping: :class:`~repro.serve.session.UnknownSessionError` → 404, any
@@ -40,12 +41,29 @@ from typing import Any, Optional
 from urllib.parse import parse_qs, urlsplit
 
 from ..errors import GreenHPCError, ServeError
+from ..obs.metrics import MetricsRegistry
+from ..obs.recorder import get_recorder
 from .checkpoint import CheckpointStore
 from .session import SessionManager, UnknownSessionError
 
 __all__ = ["ServeDaemon", "run_serve"]
 
 _MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Top-level routes with a fixed label on the request counter; anything else
+#: (typos, scans) collapses to "other" so label cardinality stays bounded.
+_KNOWN_ROUTES = ("health", "version", "sessions", "route", "metrics")
+
+
+def _route_label(segments: list[str]) -> str:
+    """A bounded-cardinality route label (session ids become ``{id}``)."""
+    if not segments:
+        return "/"
+    if segments[0] not in _KNOWN_ROUTES:
+        return "other"
+    if segments[0] == "sessions" and len(segments) > 1:
+        return "/".join(["sessions", "{id}", *segments[2:3]])
+    return "/".join(segments[:2])
 
 
 class _JsonHandler(BaseHTTPRequestHandler):
@@ -88,26 +106,47 @@ class _JsonHandler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(encoded)))
         self.end_headers()
         self.wfile.write(encoded)
+        self._status = status
+
+    def _send_text(self, text: str, status: int = 200, content_type: str = "text/plain; version=0.0.4; charset=utf-8") -> None:
+        encoded = text.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(encoded)))
+        self.end_headers()
+        self.wfile.write(encoded)
+        self._status = status
 
     def _dispatch(self, method: str) -> None:
         parts = urlsplit(self.path)
         segments = [segment for segment in parts.path.split("/") if segment]
         query = {key: values[-1] for key, values in parse_qs(parts.query).items()}
-        try:
-            handled = self.daemon.handle(self, method, segments, query)
-        except UnknownSessionError as exc:
-            self._send_json({"error": str(exc)}, status=404)
-        except GreenHPCError as exc:
-            self._send_json({"error": str(exc)}, status=400)
-        except (BrokenPipeError, ConnectionResetError):
-            pass  # client went away mid-response; nothing to answer
-        except Exception as exc:  # noqa: BLE001 - the daemon must not die on a request
-            self._send_json({"error": f"{type(exc).__name__}: {exc}"}, status=500)
-        else:
-            if not handled:
-                self._send_json(
-                    {"error": f"no route for {method} {parts.path}"}, status=404
-                )
+        route = _route_label(segments)
+        self._status = 200  # updated by the _send_* helpers
+        with get_recorder().span("serve.request", method=method, route=route) as span:
+            try:
+                handled = self.daemon.handle(self, method, segments, query)
+            except UnknownSessionError as exc:
+                self._send_json({"error": str(exc)}, status=404)
+            except GreenHPCError as exc:
+                self._send_json({"error": str(exc)}, status=400)
+            except (BrokenPipeError, ConnectionResetError):
+                self._status = 0  # client went away mid-response; nothing to answer
+            except Exception as exc:  # noqa: BLE001 - the daemon must not die on a request
+                self._send_json({"error": f"{type(exc).__name__}: {exc}"}, status=500)
+            else:
+                if not handled:
+                    self._send_json(
+                        {"error": f"no route for {method} {parts.path}"}, status=404
+                    )
+            span.set("status", self._status)
+        self.daemon.metrics.counter(
+            "serve_requests_total",
+            help="API requests handled, by method/route/status",
+            method=method,
+            route=route,
+            status=str(self._status),
+        ).inc()
 
     def do_GET(self) -> None:  # noqa: N802 - http.server naming
         self._dispatch("GET")
@@ -150,6 +189,8 @@ class ServeDaemon:
         verbose: bool = False,
     ) -> None:
         self.manager = SessionManager()
+        #: Process-local service metrics, rendered by ``GET /metrics``.
+        self.metrics = MetricsRegistry()
         self.store = None if checkpoint_dir is None else CheckpointStore(checkpoint_dir)
         self.checkpoint_every_h = float(checkpoint_every_h)
         self.request_timeout_s = float(request_timeout_s)
@@ -213,15 +254,27 @@ class ServeDaemon:
     ) -> bool:
         """Handle one request; returns whether a route matched."""
         if method == "GET" and segments == ["health"]:
+            sessions = self.manager.sessions()
             request._send_json(
                 {
                     "status": "ok",
-                    "sessions": len(self.manager.sessions()),
+                    "sessions": len(sessions),
                     "worlds": self.manager.n_worlds,
                     "restored": list(self.restored),
                     "checkpointing": self.store is not None,
+                    "session_stats": {
+                        s.session_id: {
+                            "uptime_s": s.uptime_s,
+                            "requests": s.request_count,
+                        }
+                        for s in sessions
+                    },
                 }
             )
+            return True
+        if method == "GET" and segments == ["metrics"]:
+            self._publish_session_gauges()
+            request._send_text(self.metrics.to_prometheus())
             return True
         if method == "GET" and segments == ["version"]:
             from .. import __version__
@@ -240,6 +293,33 @@ class ServeDaemon:
             request._send_json(result)
             return True
         return False
+
+    def _publish_session_gauges(self) -> None:
+        """Refresh the per-session gauges a ``/metrics`` scrape reports."""
+        sessions = self.manager.sessions()
+        self.metrics.gauge("serve_sessions", help="Live simulation sessions").set(
+            len(sessions)
+        )
+        self.metrics.gauge("serve_worlds", help="Cached substrate worlds").set(
+            self.manager.n_worlds
+        )
+        for session in sessions:
+            labels = {"session": session.session_id}
+            self.metrics.gauge(
+                "serve_session_uptime_seconds",
+                help="Seconds since the session was created (monotonic)",
+                **labels,
+            ).set(session.uptime_s)
+            self.metrics.gauge(
+                "serve_session_requests",
+                help="API requests addressed to the session",
+                **labels,
+            ).set(session.request_count)
+            self.metrics.gauge(
+                "serve_session_now_h",
+                help="Simulated hours the session has advanced to",
+                **labels,
+            ).set(session.advanced_to_h)
 
     def _handle_sessions(
         self,
@@ -260,6 +340,7 @@ class ServeDaemon:
                 return True
             return False
         session = self.manager.get(rest[0])
+        session.count_request()
         action = rest[1] if len(rest) > 1 else None
         if action is None:
             if method == "GET":
@@ -318,9 +399,26 @@ class ServeDaemon:
         a slow reader never stalls the simulation.  The response closes the
         connection (no chunked framing needed on HTTP/1.1).
         """
-        cursor = int(query.get("since", 0))
+        # Validate the query BEFORE any response bytes go out: a bad value
+        # must surface as a clean 400 (via the dispatch error mapping), not
+        # a 500 after headers are already on the wire.
+        raw_since = query.get("since", "0")
+        try:
+            cursor = int(raw_since)
+        except ValueError:
+            raise ServeError(
+                f"query parameter 'since' must be an integer, got {raw_since!r}"
+            ) from None
+        if cursor < 0:
+            raise ServeError(f"query parameter 'since' must be >= 0, got {cursor}")
         follow = query.get("follow", "0") not in ("0", "false", "")
-        max_wait_s = min(float(query.get("max_wait_s", 10.0)), self.request_timeout_s)
+        try:
+            max_wait_s = min(float(query.get("max_wait_s", 10.0)), self.request_timeout_s)
+        except ValueError:
+            raise ServeError(
+                f"query parameter 'max_wait_s' must be a number, "
+                f"got {query.get('max_wait_s')!r}"
+            ) from None
         request.send_response(200)
         request.send_header("Content-Type", "application/x-ndjson")
         request.send_header("Cache-Control", "no-store")

@@ -141,6 +141,10 @@ class ServeSession:
         self.simulator = simulator
         self.preload_jobs = int(preload_jobs)
         self.created_at = time.time()
+        # Uptime math uses the monotonic clock: wall-clock (time.time) can
+        # jump under NTP adjustment, which would skew or negate uptimes.
+        self.created_monotonic = time.monotonic()
+        self.request_count = 0
         self.result = None  # SimulationResult after finalize()
         self.result_summary: Optional[dict[str, Any]] = None
         self._ticks: list[dict[str, Any]] = []
@@ -262,6 +266,20 @@ class ServeSession:
         """Whether the session's run has been finalized."""
         return self.result_summary is not None
 
+    @property
+    def uptime_s(self) -> float:
+        """Seconds since this session object was created (monotonic clock).
+
+        Restored sessions count from the restore, not the original creation —
+        the monotonic clock does not survive a process restart.
+        """
+        return time.monotonic() - self.created_monotonic
+
+    def count_request(self) -> None:
+        """Tally one API request addressed to this session."""
+        with self.lock:
+            self.request_count += 1
+
     def status(self) -> dict[str, Any]:
         """The session's live state as one JSON-able dict."""
         with self.lock:
@@ -282,6 +300,8 @@ class ServeSession:
                 "finalized": self.finalized,
                 "checkpoints": self.checkpoint_count,
                 "last_checkpoint_h": self.last_checkpoint_h,
+                "uptime_s": self.uptime_s,
+                "requests": self.request_count,
             }
 
     @property

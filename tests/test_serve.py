@@ -11,6 +11,7 @@ session's bit for bit.
 from __future__ import annotations
 
 import threading
+import time
 
 import pytest
 
@@ -145,6 +146,41 @@ class TestTelemetry:
         tail = list(client.stream_telemetry("s1", since=len(rows)))
         assert [row["now_h"] for row in tail] == [24.0, 25.0, 26.0, 27.0, 28.0, 29.0]
 
+    def test_since_beyond_end_of_stream_is_an_empty_200(self, client):
+        _create(client)
+        client.advance("s1", until_h=6.0)
+        assert list(client.stream_telemetry("s1", since=6)) == []
+        assert list(client.stream_telemetry("s1", since=10_000)) == []
+        # The session is untouched and still streams from the top.
+        assert len(list(client.stream_telemetry("s1"))) == 6
+
+    def test_dropped_follow_reader_resumes_by_cursor(self, client):
+        """A follow=1 reader that dies mid-stream reconnects with since=N."""
+        _create(client)
+        client.advance("s1", until_h=8.0)
+        seen = []
+        stream = client.stream_telemetry("s1", follow=True, max_wait_s=5.0)
+        for row in stream:
+            seen.append(row)
+            if len(seen) == 3:
+                break
+        stream.close()  # drop the connection mid-stream
+        client.advance("s1", until_h=12.0)
+        resumed = list(client.stream_telemetry("s1", since=len(seen)))
+        assert [row["now_h"] for row in seen + resumed] == [float(h) for h in range(12)]
+
+    def test_non_integer_since_is_a_clean_400(self, client):
+        from urllib import error as urlerror
+        from urllib import request as urlrequest
+
+        _create(client)
+        client.advance("s1", until_h=2.0)
+        for query in ("since=abc", "since=1.5", "max_wait_s=soon"):
+            url = f"{client.base_url}/sessions/s1/telemetry?{query}"
+            with pytest.raises(urlerror.HTTPError) as excinfo:
+                urlrequest.urlopen(url, timeout=10)
+            assert excinfo.value.code == 400
+
     def test_follow_sees_rows_from_concurrent_advance(self, client):
         _create(client)
         collected = []
@@ -161,6 +197,78 @@ class TestTelemetry:
         thread.join(timeout=20)
         assert not thread.is_alive()
         assert len(collected) >= 12
+
+
+class TestObservability:
+    def test_session_uptime_and_request_counts(self, client):
+        _create(client)
+        status = client.session_status("s1")
+        assert status["uptime_s"] >= 0.0
+        assert status["requests"] >= 1  # the status read itself counts
+        client.advance("s1", until_h=4.0)
+        later = client.session_status("s1")
+        assert later["uptime_s"] >= status["uptime_s"]
+        assert later["requests"] > status["requests"]
+        health = client.health()
+        stats = health["session_stats"]["s1"]
+        assert stats["uptime_s"] >= 0.0 and stats["requests"] >= 2
+        listed = {s["session_id"]: s for s in client.list_sessions()}
+        assert "uptime_s" in listed["s1"] and "requests" in listed["s1"]
+
+    def test_metrics_endpoint_is_prometheus_text(self, daemon, client):
+        from urllib import request as urlrequest
+
+        _create(client)
+        client.advance("s1", until_h=2.0)
+        url = f"http://127.0.0.1:{daemon.port}/metrics"
+        with urlrequest.urlopen(url, timeout=10) as resp:
+            assert resp.status == 200
+            assert resp.headers["Content-Type"].startswith("text/plain")
+            text = resp.read().decode()
+        assert "# TYPE serve_requests_total counter" in text
+        assert 'route="sessions/{id}/advance"' in text  # bounded-cardinality label
+        assert "serve_sessions 1.0" in text
+        assert 'serve_session_now_h{session="s1"} 2.0' in text
+        assert 'serve_session_requests{session="s1"}' in text
+        # Scraping twice refreshes the gauges without duplicating families.
+        with urlrequest.urlopen(url, timeout=10) as resp:
+            again = resp.read().decode()
+        assert again.count("# TYPE serve_sessions gauge") == 1
+
+    def test_unknown_routes_share_one_metric_label(self, daemon, client):
+        from urllib import error as urlerror
+        from urllib import request as urlrequest
+
+        for path in ("/nope", "/definitely/not/a/route"):
+            with pytest.raises(urlerror.HTTPError):
+                urlrequest.urlopen(
+                    f"http://127.0.0.1:{daemon.port}{path}", timeout=10
+                )
+        text = (
+            urlrequest.urlopen(f"http://127.0.0.1:{daemon.port}/metrics", timeout=10)
+            .read()
+            .decode()
+        )
+        assert text.count('route="other"') == 1  # one series, status=404
+
+    def test_requests_are_traced_when_ambient_recorder_enabled(self, client):
+        from repro.obs import NULL_RECORDER, TraceRecorder, recording, set_recorder
+
+        try:
+            rec = TraceRecorder()
+            with recording(rec):
+                client.health()
+                # The handler thread closes the span just after the body is
+                # flushed to the client; give it a beat to land.
+                deadline = time.monotonic() + 5.0
+                while not rec.spans and time.monotonic() < deadline:
+                    time.sleep(0.01)
+            spans = [s for s in rec.spans if s.name == "serve.request"]
+            assert len(spans) == 1
+            assert spans[0].attributes["route"] == "health"
+            assert spans[0].attributes["status"] == 200
+        finally:
+            set_recorder(NULL_RECORDER)
 
 
 class TestRouting:
